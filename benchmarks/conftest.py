@@ -1,0 +1,37 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper table or figure, times the
+regeneration (pytest-benchmark), prints the rows/series the paper
+reports, and archives the rendered artifact under
+``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture()
+def archive(request):
+    """Return a callable that prints and archives a rendered artifact."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _archive(text: str) -> None:
+        print()
+        print(text)
+        name = request.node.name.replace("/", "_")
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _archive
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark a regeneration exactly once (sweeps are deterministic
+    and some take seconds; statistical rounds add nothing)."""
+    return benchmark.pedantic(
+        func, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

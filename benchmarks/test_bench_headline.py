@@ -1,0 +1,53 @@
+"""Benchmarks for the paper's headline claims (abstract, sections 1/5/6)."""
+
+from conftest import run_once
+
+from repro.analysis import anchors
+from repro.analysis.headline import headline_640, headline_1280
+from repro.analysis.report import format_table
+
+
+def _render(title, report, paper_rows):
+    rows = [
+        ("area per ALU vs baseline", report.area_per_alu_overhead,
+         paper_rows[0]),
+        ("energy per ALU op vs baseline", report.energy_per_op_overhead,
+         paper_rows[1]),
+        ("kernel speedup (HM of 6)", report.kernel_speedup, paper_rows[2]),
+        ("application speedup (HM of 6)", report.application_speedup,
+         paper_rows[3]),
+        ("sustained kernel GOPS (HM)", report.kernel_gops, paper_rows[4]),
+        ("peak GOPS at 45nm/1GHz", report.peak_gops, paper_rows[5]),
+        ("power at 45nm (W)", report.power_watts, paper_rows[6]),
+        ("perf/area drop vs baseline", report.perf_per_area_drop,
+         paper_rows[7]),
+    ]
+    return f"{title}\n" + format_table(("Metric", "Measured", "Paper"), rows)
+
+
+def test_headline_640alu(benchmark, archive):
+    report = run_once(benchmark, headline_640)
+    archive(_render(
+        "Headline H1: 640-ALU stream processor (C=128, N=5)",
+        report,
+        ["1.02", "1.07", "15.3", "8.0", ">300", "640", "<10 (1280-ALU)",
+         "-"],
+    ))
+    assert anchors.AREA_OVERHEAD_640.check(report.area_per_alu_overhead)
+    assert anchors.ENERGY_OVERHEAD_640.check(report.energy_per_op_overhead)
+    assert anchors.KERNEL_SPEEDUP_640.check(report.kernel_speedup)
+    assert anchors.APP_SPEEDUP_640.check(report.application_speedup)
+    assert report.kernel_gops > anchors.KERNEL_GOPS_640_MIN
+
+
+def test_headline_1280alu(benchmark, archive):
+    report = run_once(benchmark, headline_1280)
+    archive(_render(
+        "Headline H2: 1280-ALU stream processor (C=128, N=10)",
+        report,
+        ["-", "-", "27.9", "10.0-10.4", "-", ">1000", "<10", "0.29"],
+    ))
+    assert anchors.KERNEL_SPEEDUP_1280.check(report.kernel_speedup)
+    assert anchors.APP_SPEEDUP_1280.check(report.application_speedup)
+    assert report.peak_gops > 1000.0
+    assert report.power_watts < anchors.POWER_1280_MAX_WATTS * 1.2

@@ -1,0 +1,77 @@
+"""Benchmarks regenerating paper Tables 1-4."""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.analysis.tables import (
+    table1_parameters,
+    table2_kernel_characteristics,
+    table3_cost_rows,
+    table4_suite,
+)
+from repro.core.config import BASELINE_CONFIG, HEADLINE_640
+
+
+def test_table1_parameters(benchmark, archive):
+    rows = run_once(benchmark, table1_parameters)
+    text = format_table(
+        ("Param", "Value", "Description"),
+        [(s, v, d) for s, v, d in rows],
+    )
+    archive("Table 1: Summary of Parameters\n" + text)
+    assert len(rows) == 28
+
+
+def test_table2_kernel_characteristics(benchmark, archive):
+    table = run_once(benchmark, table2_kernel_characteristics)
+    rows = []
+    for name, row in table.items():
+        paper, measured = row["paper"], row["measured"]
+        rows.append(
+            (
+                name,
+                f"{measured.alu_ops}/{paper.alu_ops}",
+                f"{measured.srf_accesses}/{paper.srf_accesses}"
+                f" ({measured.srf_per_alu:.2f})",
+                f"{measured.comms}/{paper.comms}"
+                f" ({measured.comm_per_alu:.2f})",
+                f"{measured.sp_accesses}/{paper.sp_accesses}"
+                f" ({measured.sp_per_alu:.2f})",
+            )
+        )
+    text = format_table(
+        ("Kernel", "ALU ops", "SRF acc", "Intercl comms", "SP acc"), rows
+    )
+    archive(
+        "Table 2: Kernel Inner Loop Characteristics (measured/paper)\n"
+        + text
+    )
+    for row in table.values():
+        assert row["measured"] == row["paper"]
+
+
+def test_table3_cost_model_rows(benchmark, archive):
+    def evaluate():
+        return {
+            "C=8 N=5": table3_cost_rows(BASELINE_CONFIG),
+            "C=128 N=5": table3_cost_rows(HEADLINE_640),
+        }
+
+    tables = run_once(benchmark, evaluate)
+    keys = sorted(tables["C=8 N=5"])
+    rows = [
+        (k, tables["C=8 N=5"][k], tables["C=128 N=5"][k]) for k in keys
+    ]
+    text = format_table(("Row", "C=8 N=5", "C=128 N=5"), rows)
+    archive("Table 3: Stream Processor VLSI Costs (evaluated)\n" + text)
+    assert tables["C=8 N=5"]["A_TOT"] > 0
+
+
+def test_table4_suite(benchmark, archive):
+    rows = run_once(benchmark, table4_suite)
+    text = format_table(
+        ("Kernel/App", "Data", "Kind", "Description"),
+        [(r.name, r.datatype, r.kind, r.description) for r in rows],
+    )
+    archive("Table 4: Kernels and Applications\n" + text)
+    assert len(rows) == 13

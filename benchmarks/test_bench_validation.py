@@ -1,0 +1,13 @@
+"""Benchmark running the complete anchor validation (every quantitative
+paper claim, one PASS/FAIL table)."""
+
+from conftest import run_once
+
+from repro.analysis.validate import render_validation, validate_all
+
+
+def test_anchor_validation(benchmark, archive):
+    results = run_once(benchmark, validate_all, include_apps=True)
+    archive(render_validation(results))
+    failures = [r.name for r in results if not r.passed]
+    assert failures == [], failures

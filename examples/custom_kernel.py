@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Write, compile, and simulate your own kernel and stream program.
+
+Shows the full user-facing flow the paper's toolchain provided:
+
+1. express a kernel inner loop as a dataflow graph (KernelC stand-in),
+2. compile it for several machine sizes (VLIW modulo scheduling),
+3. wrap it in a stream program (StreamC stand-in) and simulate the whole
+   processor, including memory transfers and SRF staging.
+
+The kernel here is an RGB-to-luma conversion with a scratchpad gamma
+lookup — a typical one-pass image operator.
+
+Run:  python examples/custom_kernel.py
+"""
+
+from repro.apps.streamc import StreamProgram
+from repro.compiler import compile_kernel
+from repro.core import ProcessorConfig
+from repro.isa import KernelGraph, Opcode
+from repro.sim import simulate
+
+
+def build_luma_kernel() -> KernelGraph:
+    """luma = gamma[(77 R + 150 G + 29 B) >> 8], per pixel."""
+    g = KernelGraph("luma")
+    r = g.read("red")
+    gr = g.read("green")
+    b = g.read("blue")
+    weighted = [
+        g.op(Opcode.IMUL, r, g.const(77.0, "wr")),
+        g.op(Opcode.IMUL, gr, g.const(150.0, "wg")),
+        g.op(Opcode.IMUL, b, g.const(29.0, "wb")),
+    ]
+    total = g.reduce(Opcode.IADD, weighted)
+    index = g.op(Opcode.SHIFT, total)
+    corrected = g.sp_read(index, "gamma_lut")
+    clamped = g.op(
+        Opcode.IMIN, g.op(Opcode.IMAX, corrected, g.const(0.0)),
+        g.const(255.0),
+    )
+    g.write(clamped, "luma")
+    g.validate()
+    return g
+
+
+def main() -> None:
+    kernel = build_luma_kernel()
+    stats = kernel.stats()
+    print(
+        f"kernel '{kernel.name}': {stats.alu_ops} ALU ops, "
+        f"{stats.srf_accesses} SRF accesses, "
+        f"{stats.sp_accesses} scratchpad accesses per pixel"
+    )
+
+    print("\ncompilation across machine sizes:")
+    for c, n in [(8, 2), (8, 5), (32, 5), (128, 10)]:
+        config = ProcessorConfig(c, n)
+        schedule = compile_kernel(kernel, config)
+        print(
+            f"  {config.describe():>20s}: II={schedule.ii:3d} "
+            f"(unroll {schedule.unroll_factor}), "
+            f"schedule length {schedule.length}, "
+            f"{schedule.ops_per_cycle():6.1f} ops/cycle sustained"
+        )
+
+    # A whole 640x480x3 frame (921,600 words) dwarfs the SRF, so the
+    # program strip-mines it — exactly what the paper says applications
+    # do: "Programs are strip-mined so that the processor reads only one
+    # batch of the input dataset at a time."  Loads are double-buffered
+    # against the previous strip's kernel.
+    pixels = 640 * 480
+    strip = 4096
+    strips = pixels // strip
+    program = StreamProgram("luma_pass")
+    rgb = [
+        program.stream(f"rgb{s}", elements=strip, record_words=3,
+                       in_memory=True)
+        for s in range(strips)
+    ]
+    program.load(rgb[0])
+    for s in range(strips):
+        if s + 1 < strips:
+            program.load(rgb[s + 1])
+        luma = program.stream(f"luma{s}", elements=strip)
+        program.kernel(kernel, inputs=[rgb[s]], outputs=[luma],
+                       work_items=strip)
+        program.store(luma)
+
+    print(f"\nsimulating a {pixels}-pixel frame ({strips} strips):")
+    for c, n in [(8, 5), (128, 10)]:
+        result = simulate(program, ProcessorConfig(c, n))
+        print(
+            f"  {result.config.describe():>20s}: "
+            f"{result.cycles:9d} cycles, {result.gops:6.1f} GOPS "
+            f"({result.alu_utilization:5.1%} of peak, "
+            f"memory busy {result.memory_utilization:5.1%})"
+        )
+
+
+if __name__ == "__main__":
+    main()

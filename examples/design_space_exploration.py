@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Design-space exploration: where should the ALUs go?
+
+Sweeps the (clusters, ALUs-per-cluster) plane the way the paper's
+section 4 does and answers the architect's question directly: for a
+target ALU budget, which organization minimizes area per ALU, energy per
+operation, and communication latency — and what does kernel throughput
+say?
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.analysis.perf import kernel_rate
+from repro.core import CostModel, ProcessorConfig
+from repro.core.efficiency import harmonic_mean, performance_per_area
+from repro.kernels.suite import PERFORMANCE_SUITE
+
+#: ALU budgets to organize (the paper's range: Imagine to ~1300 ALUs).
+BUDGETS = (40, 160, 640, 1280)
+
+#: Candidate cluster sizes.
+N_CHOICES = (2, 4, 5, 8, 10, 16)
+
+
+def candidates(budget: int):
+    """All (C, N) factorizations of roughly `budget` ALUs."""
+    for n in N_CHOICES:
+        c = budget // n
+        if c >= 1 and c * n >= 0.9 * budget:
+            yield ProcessorConfig(clusters=c, alus_per_cluster=n)
+
+
+def evaluate(config: ProcessorConfig):
+    model = CostModel(config)
+    perf_per_area = harmonic_mean(
+        [
+            performance_per_area(config, kernel_rate(name, config))
+            for name in PERFORMANCE_SUITE
+        ]
+    )
+    return {
+        "area": model.area_per_alu(),
+        "energy": model.energy_per_alu_op(),
+        "t_inter": model.intercluster_delay(),
+        "perf_area": perf_per_area,
+    }
+
+
+def main() -> None:
+    for budget in BUDGETS:
+        print(f"=== {budget}-ALU budget ===")
+        print(
+            f"{'config':>18s} {'area/ALU':>10s} {'E/op':>10s} "
+            f"{'t_inter':>8s} {'perf/area':>10s}"
+        )
+        best = None
+        for config in candidates(budget):
+            scores = evaluate(config)
+            print(
+                f"{config.describe():>18s} "
+                f"{scores['area'] / 1e6:9.2f}M "
+                f"{scores['energy'] / 1e6:9.2f}M "
+                f"{scores['t_inter']:7.0f}F "
+                f"{scores['perf_area']:10.3f}"
+            )
+            if best is None or scores["perf_area"] > best[1]["perf_area"]:
+                best = (config, scores)
+        assert best is not None
+        print(f"  -> most efficient: {best[0].describe()}")
+        print()
+
+    print(
+        "Paper section 4.3: scale to N=5 (one COMM unit per cluster), "
+        "then add clusters — the sweep above reproduces that rule."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: evaluate a stream-processor design point in five minutes.
+
+Builds the paper's baseline (C=8, N=5 — an Imagine-class, 40-ALU machine)
+and its headline 640-ALU scaled sibling (C=128, N=5), then reports what
+the paper's abstract reports: area per ALU, energy per ALU operation,
+communication delays, kernel speedup, and 45 nm feasibility.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis.perf import kernel_harmonic_speedup
+from repro.core import CostModel, ProcessorConfig
+from repro.core.params import TECH_45NM
+from repro.core.technology import feasibility
+
+
+def describe(config: ProcessorConfig) -> None:
+    model = CostModel(config)
+    area = model.area()
+    feas = feasibility(config, TECH_45NM)
+    print(f"--- {config.describe()} ---")
+    print(f"  area per ALU:        {model.area_per_alu() / 1e6:8.2f} Mgrids")
+    print(f"  energy per ALU op:   {model.energy_per_alu_op() / 1e6:8.2f} ME_w")
+    print(f"  intracluster delay:  {model.intracluster_delay():8.1f} FO4")
+    print(f"  intercluster delay:  {model.intercluster_delay():8.1f} FO4")
+    print(
+        "  area breakdown:      "
+        f"SRF {area.srf / area.total:.0%}, "
+        f"ucode {area.microcontroller / area.total:.0%}, "
+        f"clusters {area.clusters / area.total:.0%}, "
+        f"switch {area.intercluster_switch / area.total:.0%}"
+    )
+    print(
+        f"  at 45 nm / 1 GHz:    {feas.peak_gops:6.0f} GOPS peak, "
+        f"{feas.area_mm2:5.1f} mm^2, {feas.power_watts:4.1f} W"
+    )
+
+
+def main() -> None:
+    baseline = ProcessorConfig(clusters=8, alus_per_cluster=5)
+    scaled = ProcessorConfig(clusters=128, alus_per_cluster=5)
+
+    describe(baseline)
+    describe(scaled)
+
+    base_model = CostModel(baseline)
+    scaled_model = CostModel(scaled)
+    area_overhead = scaled_model.area_per_alu() / base_model.area_per_alu()
+    energy_overhead = (
+        scaled_model.energy_per_alu_op() / base_model.energy_per_alu_op()
+    )
+    speedup = kernel_harmonic_speedup(scaled)
+
+    print("--- 640-ALU vs 40-ALU (the paper's abstract) ---")
+    print(f"  area per ALU overhead:    {area_overhead - 1:+.1%}  (paper: +2%)")
+    print(f"  energy per op overhead:   {energy_overhead - 1:+.1%}  (paper: +7%)")
+    print(f"  kernel speedup (HM of 6): {speedup:.1f}x  (paper: 15.3x)")
+
+
+if __name__ == "__main__":
+    main()

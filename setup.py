@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``wheel`` for PEP 517
+editable installs; this shim lets ``pip install -e . --no-use-pep517``
+(legacy ``setup.py develop``) work offline.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

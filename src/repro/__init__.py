@@ -1,0 +1,19 @@
+"""repro — reproduction of "Exploring the VLSI Scalability of Stream
+Processors" (Khailany et al., HPCA 2003).
+
+Packages:
+
+* :mod:`repro.core`      — VLSI cost models and scaling studies (Tables 1, 3).
+* :mod:`repro.isa`       — kernel dataflow IR (the KernelC substitute).
+* :mod:`repro.kernels`   — the media kernel suite (Tables 2, 4).
+* :mod:`repro.compiler`  — VLIW modulo-scheduling kernel compiler.
+* :mod:`repro.sim`       — stream-processor application simulator.
+* :mod:`repro.apps`      — the six applications (StreamC substitute).
+* :mod:`repro.analysis`  — regeneration of every paper table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from .core import CostModel, MachineParameters, ProcessorConfig
+
+__all__ = ["CostModel", "MachineParameters", "ProcessorConfig", "__version__"]

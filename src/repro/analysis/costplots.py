@@ -1,0 +1,145 @@
+"""Regeneration of the cost figures (paper Figures 6-12).
+
+Each function returns the plotted series as structured data — the same
+normalized component stacks and delay curves the paper's charts show.
+The benchmark harness prints them; tests assert the paper's anchors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.config import ProcessorConfig
+from ..core.costs import CostModel
+from ..core.params import IMAGINE_PARAMETERS, MachineParameters
+from ..core.scaling import (
+    COMBINED_N_VALUES,
+    INTERCLUSTER_C_VALUES,
+    INTRACLUSTER_N_VALUES,
+    NormalizedPoint,
+    find_reference,
+    intercluster_sweep,
+    intracluster_sweep,
+    normalize_area,
+    normalize_energy,
+)
+
+#: The paper sweeps intracluster scaling at C=8 (Figures 6-8)...
+FIGURE_CLUSTERS = 8
+#: ... intercluster scaling at N=5 (Figures 9-11)...
+FIGURE_ALUS = 5
+#: ... and normalizes combined scaling to C=32/N=5 (Figure 12).
+FIGURE12_REFERENCE = (32, 5)
+
+
+def figure6_area_intracluster(
+    params: MachineParameters = IMAGINE_PARAMETERS,
+    n_values: Sequence[int] = INTRACLUSTER_N_VALUES,
+) -> List[NormalizedPoint]:
+    """Figure 6: area per ALU vs N at C=8, normalized to N=5, stacked."""
+    points = intracluster_sweep(FIGURE_CLUSTERS, n_values, params)
+    reference = find_reference(points, alus_per_cluster=FIGURE_ALUS)
+    return normalize_area(points, reference)
+
+
+def figure7_energy_intracluster(
+    params: MachineParameters = IMAGINE_PARAMETERS,
+    n_values: Sequence[int] = INTRACLUSTER_N_VALUES,
+) -> List[NormalizedPoint]:
+    """Figure 7: energy per ALU op vs N at C=8, normalized to N=5."""
+    points = intracluster_sweep(FIGURE_CLUSTERS, n_values, params)
+    reference = find_reference(points, alus_per_cluster=FIGURE_ALUS)
+    return normalize_energy(points, reference)
+
+
+@dataclass(frozen=True)
+class DelayPoint:
+    """One Figure 8/11 sample."""
+
+    config: ProcessorConfig
+    intracluster_fo4: float
+    intercluster_fo4: float
+
+
+def figure8_delay_intracluster(
+    params: MachineParameters = IMAGINE_PARAMETERS,
+    n_values: Sequence[int] = INTRACLUSTER_N_VALUES,
+) -> List[DelayPoint]:
+    """Figure 8: intra/intercluster delay (FO4) vs N at C=8."""
+    result = []
+    for n in n_values:
+        model = CostModel(ProcessorConfig(FIGURE_CLUSTERS, n, params))
+        delay = model.delay()
+        result.append(
+            DelayPoint(
+                config=model.config,
+                intracluster_fo4=delay.intracluster,
+                intercluster_fo4=delay.intercluster,
+            )
+        )
+    return result
+
+
+def figure9_area_intercluster(
+    params: MachineParameters = IMAGINE_PARAMETERS,
+    c_values: Sequence[int] = INTERCLUSTER_C_VALUES,
+) -> List[NormalizedPoint]:
+    """Figure 9: area per ALU vs C at N=5, normalized to C=8."""
+    points = intercluster_sweep(FIGURE_ALUS, c_values, params)
+    reference = find_reference(points, clusters=8)
+    return normalize_area(points, reference)
+
+
+def figure10_energy_intercluster(
+    params: MachineParameters = IMAGINE_PARAMETERS,
+    c_values: Sequence[int] = INTERCLUSTER_C_VALUES,
+) -> List[NormalizedPoint]:
+    """Figure 10: energy per ALU op vs C at N=5, normalized to C=8."""
+    points = intercluster_sweep(FIGURE_ALUS, c_values, params)
+    reference = find_reference(points, clusters=8)
+    return normalize_energy(points, reference)
+
+
+def figure11_delay_intercluster(
+    params: MachineParameters = IMAGINE_PARAMETERS,
+    c_values: Sequence[int] = INTERCLUSTER_C_VALUES,
+) -> List[DelayPoint]:
+    """Figure 11: intra/intercluster delay (FO4) vs C at N=5."""
+    result = []
+    for c in c_values:
+        model = CostModel(ProcessorConfig(c, FIGURE_ALUS, params))
+        delay = model.delay()
+        result.append(
+            DelayPoint(
+                config=model.config,
+                intracluster_fo4=delay.intracluster,
+                intercluster_fo4=delay.intercluster,
+            )
+        )
+    return result
+
+
+def figure12_area_combined(
+    params: MachineParameters = IMAGINE_PARAMETERS,
+    n_values: Sequence[int] = COMBINED_N_VALUES,
+    c_values: Sequence[int] = INTERCLUSTER_C_VALUES,
+) -> Dict[int, List[Tuple[int, float]]]:
+    """Figure 12: area/ALU vs total ALUs for N in {2, 5, 16}.
+
+    Returns, per N, (total ALUs, normalized area per ALU) pairs; the
+    normalization point is the C=32/N=5 configuration as in the paper.
+    """
+    ref_c, ref_n = FIGURE12_REFERENCE
+    reference = CostModel(ProcessorConfig(ref_c, ref_n, params))
+    ref_area = reference.area_per_alu()
+    curves: Dict[int, List[Tuple[int, float]]] = {}
+    for n in n_values:
+        series = []
+        for c in c_values:
+            model = CostModel(ProcessorConfig(c, n, params))
+            series.append(
+                (model.config.total_alus, model.area_per_alu() / ref_area)
+            )
+        curves[n] = series
+    return curves

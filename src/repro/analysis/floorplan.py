@@ -1,0 +1,97 @@
+"""Physical floorplan summaries (paper Figures 4 and 5, quantified).
+
+The cost models imply real geometry: a ``sqrt(C) x sqrt(C)`` grid of
+cluster + SRF-bank tiles laced with intercluster buses (Figure 4), each
+cluster a ``sqrt(N_FU) x sqrt(N_FU)`` grid of datapaths over the
+row/column buses of the intracluster switch (Figure 5).  This module
+extracts those dimensions and renders them as annotated ASCII — the
+"what does this machine physically look like" view behind the area
+numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.config import ProcessorConfig
+from ..core.costs import CostModel
+from ..core.params import TECH_45NM, TechnologyNode
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """Physical dimensions of one configuration, in wire tracks."""
+
+    config: ProcessorConfig
+    chip_side_tracks: float
+    grid_side: int
+    cluster_side_tracks: float
+    srf_bank_side_tracks: float
+    intercluster_bus_tracks: float
+    intracluster_row_bus_tracks: float
+
+    def chip_side_mm(self, node: TechnologyNode = TECH_45NM) -> float:
+        """Chip edge length in millimeters at ``node``."""
+        return self.chip_side_tracks * node.track_um * 1e-3
+
+
+def floorplan(config: ProcessorConfig) -> Floorplan:
+    """Extract the Figure 4/5 geometry from the cost model."""
+    model = CostModel(config)
+    chip_area = model.area().total
+    grid_side = math.ceil(math.sqrt(config.clusters))
+    root_fu = math.sqrt(config.n_fu_cost)
+    return Floorplan(
+        config=config,
+        chip_side_tracks=math.sqrt(chip_area),
+        grid_side=grid_side,
+        cluster_side_tracks=math.sqrt(model.cluster_area()),
+        srf_bank_side_tracks=math.sqrt(model.srf_bank_area()),
+        intercluster_bus_tracks=(
+            math.sqrt(config.clusters) * config.n_comm_cost
+            * config.params.b
+        ),
+        intracluster_row_bus_tracks=root_fu * config.params.b,
+    )
+
+
+def render_area_bar(config: ProcessorConfig, width: int = 60) -> str:
+    """One proportional bar of the chip's area by component."""
+    model = CostModel(config)
+    area = model.area()
+    parts = (
+        ("clusters", area.clusters, "#"),
+        ("switch", area.intercluster_switch, "="),
+        ("SRF", area.srf, "+"),
+        ("ucode", area.microcontroller, "u"),
+    )
+    bar = ""
+    legend = []
+    for label, value, glyph in parts:
+        share = value / area.total
+        cells = max(1, round(share * width))
+        bar += glyph * cells
+        legend.append(f"{glyph} {label} {share:.0%}")
+    return f"[{bar[:width]}]  " + ", ".join(legend)
+
+
+def render_floorplan(
+    config: ProcessorConfig, node: TechnologyNode = TECH_45NM
+) -> str:
+    """Annotated Figure 4/5 geometry for one configuration."""
+    plan = floorplan(config)
+    lines = [
+        f"{config.describe()} floorplan",
+        f"  chip:   {plan.chip_side_tracks:,.0f} tracks/side "
+        f"({plan.chip_side_mm(node):.1f} mm at {node.feature_nm:.0f} nm)",
+        f"  grid:   {plan.grid_side} x {plan.grid_side} tiles "
+        f"(cluster + SRF bank each)",
+        f"  tile:   cluster {plan.cluster_side_tracks:,.0f} tracks/side, "
+        f"SRF bank {plan.srf_bank_side_tracks:,.0f}",
+        f"  buses:  intercluster {plan.intercluster_bus_tracks:,.0f} "
+        f"tracks/side of each row/column, intracluster row bus "
+        f"{plan.intracluster_row_bus_tracks:,.0f}",
+        "  area:   " + render_area_bar(config),
+    ]
+    return "\n".join(lines)

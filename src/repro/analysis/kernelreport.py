@@ -1,0 +1,87 @@
+"""Per-kernel compilation report: the data behind Figures 13-14.
+
+Produces the intermediate quantities the paper's figures summarize —
+initiation intervals, their resource/recurrence bounds, unroll factors,
+schedule lengths and register pressure for every (kernel, configuration)
+pair — as a table.  Indispensable when a speedup curve looks odd: it
+shows *which* bound moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..compiler.pipeline import KernelSchedule, compile_kernel
+from ..core.config import ProcessorConfig
+from ..kernels.suite import PERFORMANCE_SUITE, get_kernel
+from .report import format_table
+
+#: Default configuration set: the paper's Figure 13/14 sweep corners.
+DEFAULT_CONFIGS: Tuple[Tuple[int, int], ...] = (
+    (8, 2), (8, 5), (8, 10), (8, 14), (32, 5), (128, 5), (128, 10),
+)
+
+
+@dataclass(frozen=True)
+class KernelReportRow:
+    """One (kernel, configuration) compilation summary."""
+
+    kernel: str
+    clusters: int
+    alus: int
+    unroll: int
+    ii: int
+    ii_per_iteration: float
+    resource_mii: int
+    recurrence_mii: int
+    length: int
+    max_live: int
+    register_capacity: int
+    efficiency: float
+
+
+def compilation_report(
+    kernels: Sequence[str] = PERFORMANCE_SUITE,
+    configs: Sequence[Tuple[int, int]] = DEFAULT_CONFIGS,
+) -> List[KernelReportRow]:
+    """Compile every (kernel, config) pair and collect the summaries."""
+    rows: List[KernelReportRow] = []
+    for name in kernels:
+        for c, n in configs:
+            schedule: KernelSchedule = compile_kernel(
+                get_kernel(name), ProcessorConfig(c, n)
+            )
+            rows.append(
+                KernelReportRow(
+                    kernel=name,
+                    clusters=c,
+                    alus=n,
+                    unroll=schedule.unroll_factor,
+                    ii=schedule.ii,
+                    ii_per_iteration=schedule.ii_per_iteration,
+                    resource_mii=schedule.resource_mii,
+                    recurrence_mii=schedule.recurrence_mii,
+                    length=schedule.length,
+                    max_live=schedule.max_live,
+                    register_capacity=schedule.register_capacity,
+                    efficiency=schedule.efficiency,
+                )
+            )
+    return rows
+
+
+def render_compilation_report(rows: Sequence[KernelReportRow]) -> str:
+    """The report as a table."""
+    return format_table(
+        ("Kernel", "C", "N", "U", "II", "II/iter", "ResMII", "RecMII",
+         "Len", "Live", "Regs", "Eff"),
+        [
+            (
+                r.kernel, r.clusters, r.alus, r.unroll, r.ii,
+                r.ii_per_iteration, r.resource_mii, r.recurrence_mii,
+                r.length, r.max_live, r.register_capacity, r.efficiency,
+            )
+            for r in rows
+        ],
+    )

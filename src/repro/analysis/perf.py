@@ -1,0 +1,179 @@
+"""Regeneration of the performance studies (Figures 13-15, Table 5).
+
+Kernel inner-loop rates come from static analysis of compiled kernels
+(the modulo scheduler's initiation intervals), exactly as in the paper's
+section 5.1; application results come from whole-program simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..apps.suite import APPLICATION_ORDER, get_application
+from ..compiler.pipeline import compile_kernel
+from ..core.config import ProcessorConfig
+from ..core.efficiency import harmonic_mean, performance_per_area
+from ..kernels.suite import PERFORMANCE_SUITE, get_kernel
+from ..sim.metrics import SimulationResult
+from ..sim.processor import simulate
+
+#: Paper baseline: every speedup is over the C=8/N=5 (40-ALU) machine.
+BASELINE = (8, 5)
+
+#: Figure 13's x-axis (ALUs per cluster, at C=8).
+FIG13_N_VALUES = (2, 5, 10, 14)
+
+#: Figure 14's x-axis (clusters, at N=5).
+FIG14_C_VALUES = (8, 16, 32, 64, 128)
+
+#: Figure 15 / Table 5 grids.
+FIG15_N_VALUES = (5, 10, 14)
+TABLE5_N_VALUES = (2, 5, 10, 14)
+TABLE5_C_VALUES = (8, 16, 32, 64, 128)
+
+
+def kernel_rate(name: str, config: ProcessorConfig) -> float:
+    """Sustained inner-loop ALU operations per cycle, whole chip."""
+    return compile_kernel(get_kernel(name), config).ops_per_cycle()
+
+
+@dataclass(frozen=True)
+class KernelSpeedupSeries:
+    """One kernel's speedup curve plus the harmonic-mean curve key."""
+
+    kernel: str
+    points: Tuple[Tuple[ProcessorConfig, float], ...]
+
+
+def figure13_kernel_speedups(
+    n_values: Sequence[int] = FIG13_N_VALUES,
+) -> List[KernelSpeedupSeries]:
+    """Figure 13: intracluster kernel speedups over C=8/N=5, at C=8."""
+    return _kernel_speedups(
+        [ProcessorConfig(BASELINE[0], n) for n in n_values]
+    )
+
+
+def figure14_kernel_speedups(
+    c_values: Sequence[int] = FIG14_C_VALUES,
+) -> List[KernelSpeedupSeries]:
+    """Figure 14: intercluster kernel speedups over C=8/N=5, at N=5."""
+    return _kernel_speedups(
+        [ProcessorConfig(c, BASELINE[1]) for c in c_values]
+    )
+
+
+def _kernel_speedups(
+    configs: Sequence[ProcessorConfig],
+) -> List[KernelSpeedupSeries]:
+    baseline = ProcessorConfig(*BASELINE)
+    series: List[KernelSpeedupSeries] = []
+    per_config_speedups: Dict[ProcessorConfig, List[float]] = {
+        c: [] for c in configs
+    }
+    for name in PERFORMANCE_SUITE:
+        base_rate = kernel_rate(name, baseline)
+        points = []
+        for config in configs:
+            speedup = kernel_rate(name, config) / base_rate
+            points.append((config, speedup))
+            per_config_speedups[config].append(speedup)
+        series.append(KernelSpeedupSeries(kernel=name, points=tuple(points)))
+    series.append(
+        KernelSpeedupSeries(
+            kernel="harmonic_mean",
+            points=tuple(
+                (config, harmonic_mean(per_config_speedups[config]))
+                for config in configs
+            ),
+        )
+    )
+    return series
+
+
+def kernel_harmonic_speedup(config: ProcessorConfig) -> float:
+    """Harmonic-mean kernel speedup of ``config`` over the baseline."""
+    baseline = ProcessorConfig(*BASELINE)
+    speedups = [
+        kernel_rate(name, config) / kernel_rate(name, baseline)
+        for name in PERFORMANCE_SUITE
+    ]
+    return harmonic_mean(speedups)
+
+
+def kernel_harmonic_gops(config: ProcessorConfig, clock_ghz: float = 1.0) -> float:
+    """Harmonic-mean sustained kernel GOPS of ``config``."""
+    rates = [
+        kernel_rate(name, config) * clock_ghz for name in PERFORMANCE_SUITE
+    ]
+    return harmonic_mean(rates)
+
+
+def table5_performance_per_area(
+    n_values: Sequence[int] = TABLE5_N_VALUES,
+    c_values: Sequence[int] = TABLE5_C_VALUES,
+) -> Dict[Tuple[int, int], float]:
+    """Table 5: harmonic-mean kernel GOPS per unit area over the grid.
+
+    The unit is chosen as in the paper: a processor with the area of
+    exactly N bare ALUs sustaining N ops/cycle scores 1.0.
+    """
+    grid: Dict[Tuple[int, int], float] = {}
+    for n in n_values:
+        for c in c_values:
+            config = ProcessorConfig(c, n)
+            efficiencies = [
+                performance_per_area(config, kernel_rate(name, config))
+                for name in PERFORMANCE_SUITE
+            ]
+            grid[(c, n)] = harmonic_mean(efficiencies)
+    return grid
+
+
+@dataclass(frozen=True)
+class ApplicationPoint:
+    """One Figure 15 bar: an application on one configuration."""
+
+    application: str
+    config: ProcessorConfig
+    speedup: float
+    gops: float
+    result: SimulationResult
+
+
+def figure15_application_performance(
+    c_values: Sequence[int] = FIG14_C_VALUES,
+    n_values: Sequence[int] = FIG15_N_VALUES,
+    applications: Sequence[str] = APPLICATION_ORDER,
+) -> List[ApplicationPoint]:
+    """Figure 15: application speedups over C=8/N=5 and sustained GOPS."""
+    baseline_config = ProcessorConfig(*BASELINE)
+    points: List[ApplicationPoint] = []
+    for name in applications:
+        baseline = simulate(get_application(name), baseline_config)
+        for n in n_values:
+            for c in c_values:
+                config = ProcessorConfig(c, n)
+                result = simulate(get_application(name), config)
+                points.append(
+                    ApplicationPoint(
+                        application=name,
+                        config=config,
+                        speedup=result.speedup_over(baseline),
+                        gops=result.gops,
+                        result=result,
+                    )
+                )
+    return points
+
+
+def application_harmonic_speedup(config: ProcessorConfig) -> float:
+    """Harmonic-mean application speedup of ``config`` over the baseline."""
+    baseline_config = ProcessorConfig(*BASELINE)
+    speedups = []
+    for name in APPLICATION_ORDER:
+        baseline = simulate(get_application(name), baseline_config)
+        result = simulate(get_application(name), config)
+        speedups.append(result.speedup_over(baseline))
+    return harmonic_mean(speedups)

@@ -1,0 +1,137 @@
+"""ASCII rendering of regenerated tables and figures.
+
+The benchmark harness prints these so that ``pytest benchmarks/``
+reproduces, in text form, the same rows and series every paper table and
+figure reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.scaling import NormalizedPoint
+from .costplots import DelayPoint
+from .perf import ApplicationPoint, KernelSpeedupSeries
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    text_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-2:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_stack_figure(
+    title: str, points: Sequence[NormalizedPoint], x_label: str
+) -> str:
+    """A Figure 6/7/9/10/12-style component stack as a table."""
+    rows = []
+    for p in points:
+        x = (
+            p.config.alus_per_cluster
+            if x_label == "N"
+            else p.config.clusters
+        )
+        rows.append(
+            (
+                x,
+                p.srf,
+                p.microcontroller,
+                p.clusters,
+                p.intercluster_switch,
+                p.total,
+            )
+        )
+    table = format_table(
+        (x_label, "SRF", "uC", "Clusters", "InterSW", "Total"), rows
+    )
+    return f"{title}\n{table}"
+
+
+def render_delay_figure(
+    title: str, points: Sequence[DelayPoint], x_label: str
+) -> str:
+    """A Figure 8/11-style delay chart as a table."""
+    rows = []
+    for p in points:
+        x = (
+            p.config.alus_per_cluster
+            if x_label == "N"
+            else p.config.clusters
+        )
+        rows.append((x, p.intracluster_fo4, p.intercluster_fo4))
+    table = format_table(
+        (x_label, "t_intra (FO4)", "t_inter (FO4)"), rows
+    )
+    return f"{title}\n{table}"
+
+
+def render_speedup_figure(
+    title: str, series: Sequence[KernelSpeedupSeries], x_label: str
+) -> str:
+    """A Figure 13/14-style speedup chart as a table."""
+    xs: List[int] = []
+    for config, _speedup in series[0].points:
+        xs.append(
+            config.alus_per_cluster if x_label == "N" else config.clusters
+        )
+    headers = ["kernel"] + [f"{x_label}={x}" for x in xs]
+    rows = [
+        [s.kernel] + [speedup for _cfg, speedup in s.points] for s in series
+    ]
+    return f"{title}\n{format_table(headers, rows)}"
+
+
+def render_application_figure(
+    title: str, points: Sequence[ApplicationPoint]
+) -> str:
+    """The Figure 15 bars as a table (speedup and GOPS per bar)."""
+    rows = [
+        (
+            p.application,
+            p.config.clusters,
+            p.config.alus_per_cluster,
+            p.speedup,
+            p.gops,
+        )
+        for p in points
+    ]
+    table = format_table(("app", "C", "N", "speedup", "GOPS"), rows)
+    return f"{title}\n{table}"
+
+
+def render_grid(
+    title: str,
+    grid: Dict[Tuple[int, int], float],
+    c_values: Sequence[int],
+    n_values: Sequence[int],
+) -> str:
+    """A Table 5-style (C x N) grid."""
+    headers = ["N \\ C"] + [str(c) for c in c_values]
+    rows = []
+    for n in n_values:
+        rows.append([str(n)] + [grid[(c, n)] for c in c_values])
+    return f"{title}\n{format_table(headers, rows)}"

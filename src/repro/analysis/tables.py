@@ -1,0 +1,128 @@
+"""Regeneration of the paper's Tables 1-4 as structured data."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, List, Tuple
+
+from ..apps.suite import APPLICATIONS, APPLICATION_ORDER
+from ..core.config import ProcessorConfig
+from ..core.costs import CostModel
+from ..core.params import IMAGINE_PARAMETERS, MachineParameters
+from ..isa.ops import OpCounts
+from ..kernels.suite import KERNELS, TABLE2, get_kernel
+
+
+#: Table 1 row order and descriptions, as printed in the paper.
+TABLE1_ROWS: Tuple[Tuple[str, str, str], ...] = (
+    ("a_sram", "A_SRAM", "Area of 1 bit of SRAM for SRF/microcontroller (grids)"),
+    ("a_sb", "A_SB", "Area per SB width (grids)"),
+    ("w_alu", "w_ALU", "Datapath width of an ALU (tracks)"),
+    ("w_lrf", "w_LRF", "Datapath width of 2 LRFs (tracks)"),
+    ("w_sp", "w_SP", "Scratchpad datapath width (tracks)"),
+    ("h", "h", "Datapath height for cluster components (tracks)"),
+    ("v0", "v0", "Wire propagation velocity (tracks per FO4)"),
+    ("t_cyc", "t_cyc", "FO4s per clock"),
+    ("t_mux", "t_mux", "Delay of 2:1 mux (FO4s)"),
+    ("e_w", "E_w", "Normalized wire propagation energy per track"),
+    ("e_alu", "E_ALU", "Energy of ALU operation (E_w)"),
+    ("e_sram", "E_SRAM", "SRAM access energy per bit (E_w)"),
+    ("e_sb", "E_SB", "Energy of 1 bit of SB access (E_w)"),
+    ("e_lrf", "E_LRF", "LRF access energy (E_w)"),
+    ("e_sp", "E_SP", "SP access energy (E_w)"),
+    ("t_mem", "T", "Memory latency (cycles)"),
+    ("b", "b", "Data width of the architecture"),
+    ("g_srf", "G_SRF", "Width of SRF bank per N (words)"),
+    ("g_sb", "G_SB", "Average SB accesses per ALU operation"),
+    ("g_comm", "G_COMM", "COMM units required per N"),
+    ("g_sp", "G_SP", "SP units required per N"),
+    ("i0", "I_0", "Initial width of VLIW instructions (bits)"),
+    ("i_n", "I_N", "Additional VLIW width per N_FU (bits)"),
+    ("l_c", "L_C", "Initial number of cluster SBs"),
+    ("l_o", "L_O", "Required number of non-cluster SBs"),
+    ("l_n", "L_N", "Additional SBs required per N"),
+    ("r_m", "r_m", "SRF capacity per ALU per cycle of latency (words)"),
+    ("r_uc", "r_uc", "VLIW instructions in microcode storage"),
+)
+
+
+def table1_parameters(
+    params: MachineParameters = IMAGINE_PARAMETERS,
+) -> List[Tuple[str, float, str]]:
+    """Table 1 as (symbol, value, description) rows."""
+    return [
+        (symbol, float(getattr(params, attr)), description)
+        for attr, symbol, description in TABLE1_ROWS
+    ]
+
+
+def table2_kernel_characteristics() -> Dict[str, Dict[str, OpCounts]]:
+    """Table 2: measured vs paper inner-loop counts per kernel."""
+    result: Dict[str, Dict[str, OpCounts]] = {}
+    for name, expected in TABLE2.items():
+        measured = get_kernel(name).stats()
+        result[name] = {"paper": expected, "measured": measured}
+    return result
+
+
+def table3_cost_rows(config: ProcessorConfig) -> Dict[str, float]:
+    """Table 3: every cost-model row evaluated at one configuration."""
+    model = CostModel(config)
+    area = model.area()
+    energy = model.energy()
+    delay = model.delay()
+    return {
+        "N_COMM": config.n_comm_cost,
+        "N_SP": config.n_sp_cost,
+        "N_FU": config.n_fu_cost,
+        "N_CLSB": config.n_cluster_sbs_cost,
+        "N_SB": config.n_sbs_cost,
+        "P_e": config.external_ports_cost,
+        "A_SRF": model.srf_bank_area(),
+        "A_UC": model.microcontroller_area(),
+        "A_CLST": model.cluster_area(),
+        "A_SW": model.intracluster_switch_area(),
+        "A_COMM": model.intercluster_switch_area(),
+        "A_TOT": area.total,
+        "t_intra": delay.intracluster,
+        "t_inter": delay.intercluster,
+        "E_SRF": model.srf_bank_energy(),
+        "E_UC": model.microcontroller_energy(),
+        "E_CLST": model.cluster_energy(),
+        "E_intra": model.intracluster_switch_energy(),
+        "E_inter": model.intercluster_switch_energy(),
+        "E_TOT": energy.total,
+    }
+
+
+@dataclass(frozen=True)
+class SuiteRow:
+    """One Table 4 row."""
+
+    name: str
+    datatype: str
+    description: str
+    kind: str
+
+
+def table4_suite() -> List[SuiteRow]:
+    """Table 4: the kernel and application suite."""
+    rows = [
+        SuiteRow(
+            name=info.name,
+            datatype=info.dtype.value,
+            description=info.description,
+            kind="kernel",
+        )
+        for info in KERNELS.values()
+    ]
+    rows.extend(
+        SuiteRow(
+            name=APPLICATIONS[name].name,
+            datatype=APPLICATIONS[name].dtype.value,
+            description=APPLICATIONS[name].description,
+            kind="application",
+        )
+        for name in APPLICATION_ORDER
+    )
+    return rows

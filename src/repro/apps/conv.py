@@ -1,0 +1,68 @@
+"""CONV: 7x7 convolution filter on a 512x384 image (paper Table 4).
+
+The image is strip-mined into row strips (paper section 2.2: "Programs
+are strip-mined so that the processor reads only one batch of the input
+dataset at a time"): each strip is loaded, convolved, and stored, with
+the next strip's load overlapping the current strip's kernel — the
+application-level concurrency stream processors exploit.  With long
+strips the streams stay long even at C=128, which is why CONV is one of
+the paper's best intercluster scalers.
+"""
+
+from __future__ import annotations
+
+from ..kernels import get_kernel
+from .streamc import StreamProgram
+
+#: Image size (paper Table 4: 512x384 pixels).
+IMAGE_WIDTH = 512
+IMAGE_HEIGHT = 384
+
+#: Rows per strip-mined batch.
+STRIP_ROWS = 32
+
+#: 16-bit pixels pack two per 32-bit word.
+PIXELS_PER_WORD = 2
+
+
+def build_conv(scale: int = 1) -> StreamProgram:
+    """The CONV application as a stream program.
+
+    ``scale`` multiplies the image height — the paper's section 5.3
+    conjecture ("if dataset size was scaled with the number of ALUs")
+    made testable.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    program = StreamProgram("conv")
+    convolve = get_kernel("convolve")
+
+    strips = scale * IMAGE_HEIGHT // STRIP_ROWS
+    pixels_per_strip = IMAGE_WIDTH * STRIP_ROWS
+    words_per_strip = pixels_per_strip // PIXELS_PER_WORD
+
+    # Software-pipelined at the stream level (double buffering): strip
+    # s+1's load is issued before strip s's kernel so the memory pipe and
+    # the clusters stay concurrently busy.
+    raws = []
+    for s in range(strips):
+        raw = program.stream(
+            f"strip{s}", elements=words_per_strip, in_memory=True
+        )
+        raws.append(raw)
+    program.load(raws[0])
+    for s in range(strips):
+        if s + 1 < strips:
+            program.load(raws[s + 1])
+        filtered = program.stream(f"filtered{s}", elements=words_per_strip)
+        program.kernel(
+            convolve,
+            inputs=[raws[s]],
+            outputs=[filtered],
+            work_items=pixels_per_strip,
+            label=f"convolve strip {s}",
+        )
+        program.store(filtered)
+
+    program.validate()
+    return program

@@ -1,0 +1,87 @@
+"""DEPTH: stereo depth extraction on a 512x384 pair (paper Table 4).
+
+The Kanade video-rate stereo machine algorithm [paper ref 6]: for every
+disparity hypothesis, a sum-of-absolute-differences kernel scores a
+window around each pixel against the disparity-shifted other image, and
+a scratchpad-resident running minimum tracks the best disparity.  The
+image is strip-mined into row strips; the reference strip is loaded once
+and each disparity's candidate strip is loaded as it is searched, so the
+arithmetic intensity (about 59 ALU ops per candidate word) sits near the
+ratio Rixner measured for DEPTH — large machines push it against the
+memory pipe, one of the reasons its application speedup (11.6x at
+C=128/N=10) trails its kernel speedup.
+"""
+
+from __future__ import annotations
+
+from ..kernels import get_kernel
+from .streamc import StreamProgram
+
+#: Image size (paper Table 4: 512x384 pixels).
+IMAGE_WIDTH = 512
+IMAGE_HEIGHT = 384
+
+#: Rows per strip-mined batch (sized so one strip's working set fits the
+#: C=8/N=5 SRF alongside its transient kernel outputs).
+STRIP_ROWS = 16
+
+#: Disparity hypotheses searched (two packed 16-bit pixels per pass).
+DISPARITY_PASSES = 16
+
+#: 16-bit pixels pack two per 32-bit word.
+PIXELS_PER_WORD = 2
+
+
+def build_depth(scale: int = 1) -> StreamProgram:
+    """The DEPTH application as a stream program.
+
+    ``scale`` multiplies the image height (section 5.3's dataset-scaling
+    conjecture).
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    program = StreamProgram("depth")
+    blocksad = get_kernel("blocksad")
+
+    strips = scale * IMAGE_HEIGHT // STRIP_ROWS
+    pixels_per_strip = IMAGE_WIDTH * STRIP_ROWS
+    words_per_strip = pixels_per_strip // PIXELS_PER_WORD
+
+    # Software-pipelined at the stream level: the next disparity pass's
+    # candidate strip loads while the current pass's kernel runs.
+    for s in range(strips):
+        reference = program.stream(
+            f"ref{s}", elements=words_per_strip, in_memory=True
+        )
+        program.load(reference)
+        candidates = []
+        for d in range(DISPARITY_PASSES):
+            candidates.append(
+                program.stream(
+                    f"cand{s}_{d}", elements=words_per_strip, in_memory=True
+                )
+            )
+        program.load(candidates[0])
+        last_disparity = None
+        for d in range(DISPARITY_PASSES):
+            if d + 1 < DISPARITY_PASSES:
+                program.load(candidates[d + 1])
+            # Transient per-pass outputs; the running best lives in the
+            # scratchpad, so only the final pass's map is kept.
+            sad = program.stream(f"sad{s}_{d}", elements=pixels_per_strip)
+            disparity = program.stream(
+                f"disp{s}_{d}", elements=pixels_per_strip
+            )
+            program.kernel(
+                blocksad,
+                inputs=[reference, candidates[d]],
+                outputs=[sad, disparity],
+                work_items=pixels_per_strip,
+                label=f"blocksad strip {s} disparity {d}",
+            )
+            last_disparity = disparity
+        assert last_disparity is not None
+        program.store(last_disparity)
+
+    program.validate()
+    return program

@@ -1,0 +1,79 @@
+"""FFT1K / FFT4K: 1024- and 4096-point complex FFTs (paper Table 4).
+
+Both are measured the way the paper measures them (section 5.3): "their
+performance was measured with input data already in the SRF, and without
+simulating the bit-reversed stores on the output data."  Each radix-4
+stage consumes the previous stage's data stream plus a reorder staging
+stream (the stride pattern of the next stage) and the twiddle table.
+
+The two sizes bracket the paper's capacity story:
+
+* **FFT1K** fits comfortably in every configuration's SRF, but its
+  streams are short — 64 butterfly groups per stage — so large machines
+  drown in per-call overhead (103 GFLOPS at C=128/N=10 versus FFT4K's
+  211 on identical kernels).
+* **FFT4K**'s working set (two data generations, two staging streams and
+  the twiddle table, ~45K words) slightly exceeds the C=8/N=5 SRF
+  (44K words), so the reorder staging stream spills and reloads every
+  stage at the baseline machine — the paper's "its large working set
+  requires spilling from the SRF to memory" — while larger
+  configurations (capacity ``r_m T N C``) hold it entirely.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..kernels import get_kernel
+from .streamc import StreamProgram
+
+#: Complex points the FFT kernel consumes per inner-loop iteration.
+POINTS_PER_ITERATION = 16
+
+
+def build_fft_app(points: int, name: str) -> StreamProgram:
+    """A ``points``-point complex FFT as a stream program."""
+    if points < 16 or points & (points - 1):
+        raise ValueError("FFT size must be a power of two >= 16")
+    program = StreamProgram(name)
+    fft = get_kernel("fft")
+
+    stages = max(1, math.ceil(math.log(points, 4)))
+    words = 2 * points  # complex data
+
+    data = program.input_in_srf("fft_input", elements=points, record_words=2)
+    twiddles = program.input_in_srf("twiddles", elements=points)
+    staging = [
+        program.stream(f"staging{s}", elements=words) for s in range(stages)
+    ]
+
+    for s in range(stages):
+        out = program.stream(f"stage{s + 1}", elements=points, record_words=2)
+        inputs = [data, twiddles]
+        if s >= 2:
+            # The reorder pipeline: staging data skips one stage, so two
+            # staging generations are live at any time.
+            inputs.append(staging[s - 2])
+        program.kernel(
+            fft,
+            inputs=inputs,
+            outputs=[out, staging[s]],
+            work_items=points // POINTS_PER_ITERATION,
+            label=f"fft stage {s}",
+        )
+        data = out
+
+    # Paper: no bit-reversed stores are simulated; the result stays in
+    # the SRF (no trailing store op).
+    program.validate()
+    return program
+
+
+def build_fft1k() -> StreamProgram:
+    """FFT1K: 1024-point complex FFT (5 radix-4 stages)."""
+    return build_fft_app(1024, "fft1k")
+
+
+def build_fft4k() -> StreamProgram:
+    """FFT4K: 4096-point complex FFT (6 radix-4 stages)."""
+    return build_fft_app(4096, "fft4k")

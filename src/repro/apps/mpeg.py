@@ -1,0 +1,147 @@
+"""MPEG: a video-encoder application built from the suite's kernels.
+
+Not one of the paper's six Figure 15 applications, but the fourth
+application class of Rixner's media-workload study that motivates the
+paper ("a video encoder/decoder", section 2.1) — and the natural home of
+the Table 2 DCT kernel, which Figure 15 otherwise never exercises.  It
+also demonstrates composing a longer producer-consumer pipeline than the
+six paper applications:
+
+  motion estimation (Blocksad over reference macroblocks)
+    -> residual transform (DCT)
+    -> entropy preprocessing (a local run-length kernel)
+
+per strip of a CIF-sized frame, with all intermediate streams passing
+kernel-to-kernel through the SRF (no memory round trips — the paper's
+producer-consumer locality at work).
+"""
+
+from __future__ import annotations
+
+from ..isa.kernel import KernelGraph
+from ..isa.ops import Opcode
+from ..kernels import get_kernel
+from .streamc import StreamProgram
+
+#: Frame size (CIF: 352x288, the classic encoder resolution).
+FRAME_WIDTH = 352
+FRAME_HEIGHT = 288
+
+#: Macroblock rows per strip.
+STRIP_ROWS = 32
+
+#: Motion-search candidate positions evaluated per macroblock strip.
+SEARCH_POSITIONS = 4
+
+#: 16-bit pixels pack two per 32-bit word.
+PIXELS_PER_WORD = 2
+
+
+def build_rle() -> KernelGraph:
+    """Zigzag run-length preprocessing of quantized coefficients.
+
+    Reads a coefficient, compares against zero, conditionally emits a
+    (run, level) word — the canonical conditional-stream consumer.
+    """
+    g = KernelGraph("rle")
+    coefficient = g.read("coefficients")
+    run = g.op(Opcode.IADD, g.loop_index("pos"), g.const(0.0))
+    nonzero = g.op(Opcode.ICMP, g.const(0.0), coefficient)  # 0 < |c|
+    packed = g.op(
+        Opcode.LOGIC,
+        g.op(Opcode.IADD, g.op(Opcode.SHIFT, run), coefficient),
+    )
+    g.write(g.op(Opcode.SELECT, nonzero, packed), "tokens",
+            conditional=True)
+    g.validate()
+    return g
+
+
+_RLE: KernelGraph | None = None
+
+
+def rle_kernel() -> KernelGraph:
+    """Memoized run-length kernel instance."""
+    global _RLE
+    if _RLE is None:
+        _RLE = build_rle()
+    return _RLE
+
+
+def build_mpeg() -> StreamProgram:
+    """The video-encoder stream program."""
+    program = StreamProgram("mpeg")
+    blocksad = get_kernel("blocksad")
+    dct = get_kernel("dct")
+    rle = rle_kernel()
+
+    strips = FRAME_HEIGHT // STRIP_ROWS
+    pixels_per_strip = FRAME_WIDTH * STRIP_ROWS
+    words_per_strip = pixels_per_strip // PIXELS_PER_WORD
+    blocks_per_strip = pixels_per_strip // 64  # 8x8 blocks
+
+    # Double-buffered strip loads: current + reference frame data.
+    currents, references = [], []
+    for s in range(strips):
+        currents.append(
+            program.stream(
+                f"cur{s}", elements=words_per_strip, in_memory=True
+            )
+        )
+        references.append(
+            program.stream(
+                f"ref{s}", elements=words_per_strip, in_memory=True
+            )
+        )
+    program.load(currents[0])
+    program.load(references[0])
+
+    for s in range(strips):
+        if s + 1 < strips:
+            program.load(currents[s + 1])
+            program.load(references[s + 1])
+
+        # Motion estimation: blocksad over the candidate positions, the
+        # best vector accumulating in the scratchpad.
+        residual = None
+        for d in range(SEARCH_POSITIONS):
+            sad = program.stream(f"sad{s}_{d}", elements=pixels_per_strip)
+            vectors = program.stream(f"mv{s}_{d}", elements=pixels_per_strip)
+            program.kernel(
+                blocksad,
+                inputs=[currents[s], references[s]],
+                outputs=[sad, vectors],
+                work_items=pixels_per_strip,
+                label=f"motion strip {s} pos {d}",
+            )
+            residual = sad
+
+        # Transform + quantization of the residual blocks.
+        assert residual is not None
+        coefficients = program.stream(
+            f"coef{s}", elements=pixels_per_strip
+        )
+        program.kernel(
+            dct,
+            inputs=[residual],
+            outputs=[coefficients],
+            work_items=blocks_per_strip * 8,  # one 8-point pass per row
+            label=f"dct strip {s}",
+        )
+
+        # Entropy preprocessing: conditional-stream compaction.  Typical
+        # quantized blocks keep ~10% of coefficients.
+        tokens = program.stream(
+            f"tokens{s}", elements=max(1, pixels_per_strip // 10)
+        )
+        program.kernel(
+            rle,
+            inputs=[coefficients],
+            outputs=[tokens],
+            work_items=pixels_per_strip,
+            label=f"rle strip {s}",
+        )
+        program.store(tokens)
+
+    program.validate()
+    return program

@@ -1,0 +1,207 @@
+"""QRD: blocked Householder QR decomposition of a 256x256 matrix (Table 4).
+
+The paper's diagnosis of QRD's poor intercluster scaling (section 5.3):
+"the larger machines spend an increasing fraction of their runtime
+computing the orthogonal bases for the decomposition, a step which scales
+poorly", on top of short-stream effects as the trailing matrix shrinks.
+
+The program alternates two phases per block step:
+
+* **panel factorization** — one Householder-vector kernel call per panel
+  column, *serially dependent* (each column's reflector depends on the
+  previous), over streams whose length is the remaining column height.
+  These calls are latency-bound: a cross-cluster norm reduction plus a
+  square root and divide dominate their schedule.
+* **trailing update** — the Table 2 Update kernel applied to the
+  remaining column blocks: long streams, excellent scaling.
+
+The matrix lives in the SRF as four column-block streams (64 columns
+each); at the C=8/N=5 baseline they do not all fit and the allocator
+spills cold blocks, while larger machines keep the whole matrix
+on chip.
+"""
+
+from __future__ import annotations
+
+from ..isa.kernel import KernelGraph
+from ..isa.ops import Opcode
+from ..isa.values import AccessPattern
+from ..kernels import get_kernel
+from .streamc import StreamProgram
+
+#: Matrix dimension (paper Table 4: 256x256).
+MATRIX = 256
+
+#: Panel width (columns factored per block step).
+PANEL = 8
+
+#: Columns per SRF-resident matrix block stream.
+BLOCK_COLUMNS = 64
+
+#: Matrix elements one Update kernel iteration touches (its SP block).
+UPDATE_ELEMENTS = 16
+
+
+def build_householder() -> KernelGraph:
+    """Householder reflector kernel: norm, sqrt, divide, scale.
+
+    Latency-dominated: the FSQRT/FDIV chain and the cross-cluster
+    reduction give it a long schedule for little work — the poorly
+    scaling step of QRD.
+    """
+    g = KernelGraph("householder")
+    x = g.read("column")
+    pivot = g.read("pivot")
+    squared = g.op(Opcode.FMUL, x, x)
+    total = squared
+    for stage in range(6):
+        exchanged = g.comm(total, name=f"norm{stage}")
+        total = g.op(Opcode.FADD, total, exchanged)
+    norm = g.op(Opcode.FSQRT, total)
+    alpha = g.op(Opcode.FSUB, pivot, norm)
+    beta = g.op(Opcode.FMUL, norm, alpha)
+    inv = g.op(Opcode.FDIV, g.const(1.0), beta)
+    v = g.op(Opcode.FMUL, x, inv)
+    tau = g.op(Opcode.FMUL, alpha, inv)
+    g.write(v, "reflector")
+    g.write(tau, "tau")
+    g.validate()
+    return g
+
+
+def build_orthogonalize() -> KernelGraph:
+    """Orthogonalization kernel: project a column against one basis vector.
+
+    A dot product (reduced across clusters) followed by an axpy.  Little
+    arithmetic, a latency-bound reduction, and — crucially — each panel
+    column must be orthogonalized against every *previous* column
+    serially, which is the poorly-scaling fraction of QRD's runtime.
+    """
+    g = KernelGraph("orthogonalize")
+    column = g.read("column")
+    basis = g.read("basis")
+    product = g.op(Opcode.FMUL, column, basis)
+    total = product
+    for stage in range(6):
+        exchanged = g.comm(total, name=f"dot{stage}")
+        total = g.op(Opcode.FADD, total, exchanged)
+    projected = g.op(Opcode.FMUL, total, basis)
+    result = g.op(Opcode.FSUB, column, projected)
+    g.write(result, "orthogonal")
+    g.write(total, "coefficient")
+    g.validate()
+    return g
+
+
+_HOUSEHOLDER: KernelGraph | None = None
+_ORTHOGONALIZE: KernelGraph | None = None
+
+
+def householder_kernel() -> KernelGraph:
+    """Memoized Householder kernel instance (stable compilation cache)."""
+    global _HOUSEHOLDER
+    if _HOUSEHOLDER is None:
+        _HOUSEHOLDER = build_householder()
+    return _HOUSEHOLDER
+
+
+def orthogonalize_kernel() -> KernelGraph:
+    """Memoized orthogonalization kernel instance."""
+    global _ORTHOGONALIZE
+    if _ORTHOGONALIZE is None:
+        _ORTHOGONALIZE = build_orthogonalize()
+    return _ORTHOGONALIZE
+
+
+def build_qrd(scale: int = 1) -> StreamProgram:
+    """The QRD application as a stream program.
+
+    ``scale`` multiplies the matrix dimension; decomposition work grows
+    with its cube (section 5.3: "if the datasets grew with C, QRD
+    performance would scale" like its Update kernel does).
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    matrix = scale * MATRIX
+    program = StreamProgram("qrd")
+    update = get_kernel("update")
+    householder = householder_kernel()
+
+    blocks = matrix // BLOCK_COLUMNS
+    block_words = matrix * BLOCK_COLUMNS
+
+    # Load the matrix as column-block streams.  Column blocks of a
+    # row-major matrix are strided references; memory-access scheduling
+    # recovers most but not all of peak bandwidth for them.
+    current = {}
+    for b in range(blocks):
+        stream = program.stream(
+            f"block{b}_v0",
+            elements=block_words,
+            in_memory=True,
+            pattern=AccessPattern.STRIDED,
+        )
+        program.load(stream)
+        current[b] = stream
+
+    steps = matrix // PANEL
+    for k in range(steps):
+        remaining = matrix - k * PANEL
+        panel_block = (k * PANEL) // BLOCK_COLUMNS
+
+        # Panel factorization: column j is orthogonalized against every
+        # previous reflector (serially — each projection needs the last),
+        # then its own Householder vector is formed.  This O(PANEL^2)
+        # chain of short latency-bound calls is the "computing the
+        # orthogonal bases" step whose growing runtime share the paper
+        # blames for QRD's poor intercluster scaling.
+        orthogonalize = orthogonalize_kernel()
+        reflectors = []
+        for j in range(PANEL):
+            column = current[panel_block]
+            working = None
+            for i in range(j):
+                orthogonalized = program.stream(
+                    f"orth{k}_{j}_{i}", elements=remaining
+                )
+                inputs = [working if working is not None else column,
+                          reflectors[i]]
+                program.kernel(
+                    orthogonalize,
+                    inputs=inputs,
+                    outputs=[orthogonalized],
+                    work_items=remaining,
+                    label=f"orthogonalize step {k} col {j} vs {i}",
+                )
+                working = orthogonalized
+            v = program.stream(f"v{k}_{j}", elements=remaining)
+            inputs = [working if working is not None else column]
+            program.kernel(
+                householder,
+                inputs=inputs,
+                outputs=[v],
+                work_items=remaining,
+                label=f"householder step {k} col {j}",
+            )
+            reflectors.append(v)
+        last_v = reflectors[-1]
+
+        # Trailing update over the remaining column blocks.
+        for b in range(panel_block, blocks):
+            updated = program.stream(f"block{b}_v{k + 1}", elements=block_words)
+            program.kernel(
+                update,
+                inputs=[current[b], last_v],
+                outputs=[updated],
+                work_items=max(
+                    1, remaining * BLOCK_COLUMNS // UPDATE_ELEMENTS
+                ),
+                label=f"update step {k} block {b}",
+            )
+            current[b] = updated
+
+    for b in range(blocks):
+        program.store(current[b])
+
+    program.validate()
+    return program

@@ -1,0 +1,201 @@
+"""RENDER: polygon rendering of a bowling pin with a procedural marble
+shader (paper Table 4).
+
+The classic Imagine rendering pipeline, in four kernels per batch of
+triangles:
+
+1. **transform** (local kernel): vertex transform, perspective divide,
+   viewport mapping and edge-equation setup,
+2. **irast** (suite kernel): scan conversion with conditional streams,
+3. **noise** (suite kernel): the procedural marble shader over fragments,
+4. **zcompose** (local kernel): depth test against scratchpad-resident
+   tiles and framebuffer packing.
+
+RENDER "is very data-parallel and contains stream lengths limited only by
+the total number of triangles in a scene" (section 5.3) — fragment
+streams stay thousands of elements long even at C=128, which is why the
+paper's largest application speedup (20.5x) belongs to RENDER.
+"""
+
+from __future__ import annotations
+
+from ..isa.kernel import KernelGraph
+from ..isa.ops import Opcode
+from ..kernels import get_kernel
+from .streamc import StreamProgram
+
+#: Triangles in the bowling-pin scene.
+TRIANGLES = 8000
+
+#: Triangles rasterized per batch (bounds the fragment stream footprint).
+BATCH = 125
+
+#: Average fragments each triangle covers (pin occupies much of the
+#: 512x384 frame with ~1.5x depth complexity).
+FRAGMENTS_PER_TRIANGLE = 37
+
+#: Words per transformed-triangle record (post-setup).
+SETUP_WORDS = 12
+
+#: Words per raw triangle record (paper section 2.1: 21-word triangles).
+TRIANGLE_WORDS = 21
+
+
+def build_transform() -> KernelGraph:
+    """Vertex transform + edge setup kernel (local to RENDER)."""
+    g = KernelGraph("transform")
+    vertices = [[g.read("triangles") for _ in range(3)] for _ in range(3)]
+    row = [g.const(1.0, f"m{k}") for k in range(4)]
+    projected = []
+    for vertex in vertices:
+        # 4x4 transform of (x, y, z, 1): three output coordinates.
+        coords = []
+        for axis in range(3):
+            terms = [
+                g.op(Opcode.FMUL, vertex[i], row[i]) for i in range(3)
+            ]
+            acc = g.reduce(Opcode.FADD, terms)
+            coords.append(g.op(Opcode.FADD, acc, row[3]))
+        w_inv = g.op(Opcode.FDIV, g.const(1.0), coords[2])
+        sx = g.op(Opcode.FMUL, coords[0], w_inv)
+        sy = g.op(Opcode.FMUL, coords[1], w_inv)
+        projected.append((sx, sy, coords[2]))
+    # Edge-equation setup: pairwise vertex differences.
+    for a in range(3):
+        b = (a + 1) % 3
+        dx = g.op(Opcode.FSUB, projected[b][0], projected[a][0])
+        dy = g.op(Opcode.FSUB, projected[b][1], projected[a][1])
+        cross = g.op(
+            Opcode.FSUB,
+            g.op(Opcode.FMUL, dx, projected[a][1]),
+            g.op(Opcode.FMUL, dy, projected[a][0]),
+        )
+        g.write(dx, "setup")
+        g.write(dy, "setup")
+        g.write(cross, "setup")
+    for vertex_out in projected:
+        g.write(vertex_out[2], "setup")
+    g.validate()
+    return g
+
+
+def build_zcompose() -> KernelGraph:
+    """Depth-test and framebuffer composition kernel (local to RENDER)."""
+    g = KernelGraph("zcompose")
+    depth = g.read("fragments", conditional=True)
+    color = g.read("fragments", conditional=True)
+    address = g.op(Opcode.IADD, g.loop_index("tile"), g.const(0.0))
+    # Fragments are routed to the cluster owning their framebuffer tile.
+    routed_depth = g.comm(depth, "route_z")
+    routed_color = g.comm(color, "route_c")
+    old_depth = g.sp_read(address, "zbuf")
+    closer = g.op(Opcode.FCMP, routed_depth, old_depth)
+    new_depth = g.op(Opcode.FMIN, routed_depth, old_depth)
+    g.sp_write(address, new_depth)
+    shaded = g.op(Opcode.SELECT, closer, routed_color)
+    packed = g.op(
+        Opcode.LOGIC, g.op(Opcode.SHIFT, shaded), g.const(65535.0)
+    )
+    g.write(packed, "framebuffer", conditional=True)
+    g.validate()
+    return g
+
+
+_TRANSFORM: KernelGraph | None = None
+_ZCOMPOSE: KernelGraph | None = None
+
+
+def transform_kernel() -> KernelGraph:
+    """Memoized vertex-transform kernel instance."""
+    global _TRANSFORM
+    if _TRANSFORM is None:
+        _TRANSFORM = build_transform()
+    return _TRANSFORM
+
+
+def zcompose_kernel() -> KernelGraph:
+    """Memoized depth-test/composition kernel instance."""
+    global _ZCOMPOSE
+    if _ZCOMPOSE is None:
+        _ZCOMPOSE = build_zcompose()
+    return _ZCOMPOSE
+
+
+def build_render(scale: int = 1) -> StreamProgram:
+    """The RENDER application as a stream program.
+
+    ``scale`` multiplies the triangle count ("stream lengths limited
+    only by the total number of triangles in a scene", section 5.3).
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    program = StreamProgram("render")
+    irast = get_kernel("irast")
+    noise = get_kernel("noise")
+    transform = transform_kernel()
+    zcompose = zcompose_kernel()
+
+    batches = scale * TRIANGLES // BATCH
+    fragments = BATCH * FRAGMENTS_PER_TRIANGLE
+
+    # Software-pipelined: batch b+1's triangles load during batch b's
+    # kernel pipeline.
+    raws = []
+    for b in range(batches):
+        raws.append(
+            program.stream(
+                f"tris{b}",
+                elements=BATCH,
+                record_words=TRIANGLE_WORDS,
+                in_memory=True,
+            )
+        )
+    program.load(raws[0])
+
+    for b in range(batches):
+        raw = raws[b]
+        if b + 1 < batches:
+            program.load(raws[b + 1])
+
+        setup = program.stream(
+            f"setup{b}", elements=BATCH, record_words=SETUP_WORDS
+        )
+        program.kernel(
+            transform,
+            inputs=[raw],
+            outputs=[setup],
+            work_items=BATCH,
+            label=f"transform batch {b}",
+        )
+
+        frags = program.stream(f"frags{b}", elements=fragments, record_words=4)
+        program.kernel(
+            irast,
+            inputs=[setup],
+            outputs=[frags],
+            work_items=fragments,
+            label=f"irast batch {b}",
+        )
+
+        shaded = program.stream(f"shaded{b}", elements=fragments)
+        program.kernel(
+            noise,
+            inputs=[frags],
+            outputs=[shaded],
+            work_items=fragments,
+            label=f"noise batch {b}",
+        )
+
+        # Composited pixels, two 16-bit pixels per word.
+        pixels = program.stream(f"pixels{b}", elements=fragments // 2)
+        program.kernel(
+            zcompose,
+            inputs=[frags, shaded],
+            outputs=[pixels],
+            work_items=fragments,
+            label=f"zcompose batch {b}",
+        )
+        program.store(pixels)
+
+    program.validate()
+    return program

@@ -1,0 +1,275 @@
+"""Stream-level programming model (the paper's StreamC substitute).
+
+A :class:`StreamProgram` is the application-level view of paper section
+2.1: data organized as streams, computation as a sequence of kernel
+invocations, plus the loads and stores that move streams between memory
+and the SRF.  The simulator executes these programs on a
+:class:`~repro.sim.processor.StreamProcessor`.
+
+Streams are single-assignment: each is produced exactly once (by a load
+or by a kernel) and may be consumed any number of times — which is how
+producer-consumer locality is expressed (a stream passed from kernel to
+kernel never returns to memory unless capacity forces a spill).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..isa.kernel import KernelGraph
+from ..isa.values import AccessPattern
+
+
+class Location(enum.Enum):
+    """Where a stream's data begins life."""
+
+    MEMORY = "memory"
+    SRF = "srf"
+
+
+class Stream:
+    """A finite sequence of records flowing through the program.
+
+    Identity-hashed: two streams are the same only if they are the same
+    object, matching single-assignment semantics.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        elements: int,
+        record_words: int = 1,
+        initial_location: Location = Location.SRF,
+        pattern: AccessPattern = AccessPattern.SEQUENTIAL,
+    ):
+        if elements < 1:
+            raise ValueError("a stream has at least one element")
+        if record_words < 1:
+            raise ValueError("records have at least one word")
+        self.name = name
+        self.elements = elements
+        self.record_words = record_words
+        self.initial_location = initial_location
+        self.pattern = pattern
+
+    @property
+    def words(self) -> int:
+        """Total SRF footprint in words."""
+        return self.elements * self.record_words
+
+    def __repr__(self) -> str:
+        return (
+            f"Stream({self.name!r}, elements={self.elements}, "
+            f"record_words={self.record_words})"
+        )
+
+
+@dataclass(frozen=True)
+class LoadOp:
+    """Load a stream from external memory into the SRF."""
+
+    stream: Stream
+
+    @property
+    def describe(self) -> str:
+        return f"load {self.stream.name}"
+
+
+@dataclass(frozen=True)
+class StoreOp:
+    """Store a stream from the SRF to external memory."""
+
+    stream: Stream
+
+    @property
+    def describe(self) -> str:
+        return f"store {self.stream.name}"
+
+
+@dataclass(frozen=True)
+class KernelCall:
+    """Invoke a kernel over its input streams.
+
+    ``work_items`` is the total number of inner-loop iterations across the
+    whole machine (e.g. output pixels); each of the ``C`` clusters handles
+    ``ceil(work_items / C)`` of them — fixed datasets therefore yield
+    fewer iterations per cluster as ``C`` grows (short-stream effects).
+    """
+
+    kernel: KernelGraph
+    inputs: tuple
+    outputs: tuple
+    work_items: int
+    label: str = ""
+
+    @property
+    def describe(self) -> str:
+        return f"kernel {self.label or self.kernel.name}"
+
+
+StreamOp = Union[LoadOp, StoreOp, KernelCall]
+
+
+class StreamProgram:
+    """Builder for a stream application."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.ops: List[StreamOp] = []
+        self._streams: List[Stream] = []
+        self._producer: Dict[Stream, int] = {}
+        self._preloaded: List[Stream] = []
+
+    # --- construction --------------------------------------------------
+
+    def stream(
+        self,
+        name: str,
+        elements: int,
+        record_words: int = 1,
+        in_memory: bool = False,
+        pattern: AccessPattern = AccessPattern.SEQUENTIAL,
+    ) -> Stream:
+        """Declare a stream; ``in_memory`` marks program input data and
+        ``pattern`` its memory reference pattern (unit-stride default)."""
+        location = Location.MEMORY if in_memory else Location.SRF
+        s = Stream(name, elements, record_words, location, pattern)
+        self._streams.append(s)
+        return s
+
+    def input_in_srf(
+        self, name: str, elements: int, record_words: int = 1
+    ) -> Stream:
+        """Declare an input already resident in the SRF at program start.
+
+        The paper measures the FFTs "with input data already in the SRF"
+        (section 5.3); such streams have no producing op and are ready at
+        cycle zero.
+        """
+        s = Stream(name, elements, record_words, Location.SRF)
+        self._streams.append(s)
+        self._producer[s] = -1
+        self._preloaded.append(s)
+        return s
+
+    def load(self, stream: Stream) -> None:
+        """Load ``stream`` (declared ``in_memory``) into the SRF."""
+        if stream.initial_location is not Location.MEMORY:
+            raise ValueError(f"{stream.name} does not live in memory")
+        self._define(stream)
+        self.ops.append(LoadOp(stream))
+
+    def store(self, stream: Stream) -> None:
+        """Write ``stream`` back to external memory."""
+        if stream not in self._producer:
+            raise ValueError(f"{stream.name} stored before being produced")
+        self.ops.append(StoreOp(stream))
+
+    def kernel(
+        self,
+        kernel: KernelGraph,
+        inputs: Sequence[Stream],
+        outputs: Sequence[Stream],
+        work_items: int,
+        label: str = "",
+    ) -> None:
+        """Invoke ``kernel``: reads ``inputs``, produces ``outputs``."""
+        if work_items < 1:
+            raise ValueError("a kernel call does at least one iteration")
+        for s in inputs:
+            if s not in self._producer:
+                raise ValueError(
+                    f"kernel {kernel.name} consumes {s.name} "
+                    "before it is produced"
+                )
+        for s in outputs:
+            self._define(s)
+        self.ops.append(
+            KernelCall(
+                kernel=kernel,
+                inputs=tuple(inputs),
+                outputs=tuple(outputs),
+                work_items=work_items,
+                label=label,
+            )
+        )
+
+    def _define(self, stream: Stream) -> None:
+        if stream in self._producer:
+            raise ValueError(
+                f"stream {stream.name} produced twice "
+                "(streams are single-assignment)"
+            )
+        self._producer[stream] = len(self.ops)
+
+    # --- analysis ---------------------------------------------------------
+
+    @property
+    def streams(self) -> Sequence[Stream]:
+        return tuple(self._streams)
+
+    def producer_index(self, stream: Stream) -> int:
+        """Index of the op that produces ``stream``."""
+        return self._producer[stream]
+
+    @property
+    def preloaded(self) -> Sequence[Stream]:
+        """Streams resident in the SRF before the program starts."""
+        return tuple(self._preloaded)
+
+    def dependencies(self, index: int) -> List[int]:
+        """Indices of ops whose results op ``index`` consumes
+        (preloaded inputs, producer index -1, impose no dependence)."""
+        op = self.ops[index]
+        if isinstance(op, LoadOp):
+            return []
+        if isinstance(op, StoreOp):
+            deps = [self._producer[op.stream]]
+        else:
+            deps = [self._producer[s] for s in op.inputs]
+        return [d for d in deps if d >= 0]
+
+    def last_use(self) -> Dict[Stream, int]:
+        """For each stream, the index of the last op touching it."""
+        last: Dict[Stream, int] = {}
+        for i, op in enumerate(self.ops):
+            if isinstance(op, LoadOp):
+                last[op.stream] = i
+            elif isinstance(op, StoreOp):
+                last[op.stream] = i
+            else:
+                for s in op.inputs + op.outputs:
+                    last[s] = i
+        return last
+
+    def total_alu_ops(self) -> int:
+        """Useful ALU operations the program performs (for GOPS)."""
+        total = 0
+        for op in self.ops:
+            if isinstance(op, KernelCall):
+                total += op.work_items * op.kernel.stats().alu_ops
+        return total
+
+    def memory_words(self) -> int:
+        """Words moved by explicit loads and stores."""
+        return sum(
+            op.stream.words
+            for op in self.ops
+            if isinstance(op, (LoadOp, StoreOp))
+        )
+
+    def validate(self) -> None:
+        """Check program well-formedness (single assignment, ordering)."""
+        for i in range(len(self.ops)):
+            for dep in self.dependencies(i):
+                if dep > i:
+                    raise ValueError(
+                        f"op {i} depends on later op {dep}: "
+                        "programs must produce streams before use"
+                    )
+
+    def kernel_calls(self) -> List[KernelCall]:
+        return [op for op in self.ops if isinstance(op, KernelCall)]

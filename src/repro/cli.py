@@ -1,0 +1,307 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``costs``      evaluate the VLSI cost model at one (C, N) point
+``compile``    compile a suite kernel and report its schedule
+``simulate``   run one of the six applications on a configuration
+``figures``    regenerate the paper's tables and figures (text form)
+``headline``   check the paper's headline claims
+
+Examples
+--------
+::
+
+    python -m repro costs --clusters 128 --alus 5
+    python -m repro compile fft --clusters 8 --alus 10
+    python -m repro simulate depth --clusters 128 --alus 10
+    python -m repro figures --only fig9 fig13
+    python -m repro headline
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    figure6_area_intracluster,
+    figure7_energy_intracluster,
+    figure8_delay_intracluster,
+    figure9_area_intercluster,
+    figure10_energy_intercluster,
+    figure11_delay_intercluster,
+    figure13_kernel_speedups,
+    figure14_kernel_speedups,
+    headline_640,
+    headline_1280,
+    render_delay_figure,
+    render_grid,
+    render_speedup_figure,
+    render_stack_figure,
+    table5_performance_per_area,
+)
+from .analysis.perf import TABLE5_C_VALUES, TABLE5_N_VALUES
+from .apps import APPLICATION_ORDER, get_application
+from .compiler import compile_kernel
+from .core import CostModel, ProcessorConfig
+from .core.technology import TECH_45NM, feasibility
+from .kernels import KERNELS, get_kernel
+from .sim import simulate
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--clusters", "-c", type=int, default=8, help="clusters (C)"
+    )
+    parser.add_argument(
+        "--alus", "-n", type=int, default=5, help="ALUs per cluster (N)"
+    )
+
+
+def _config(args: argparse.Namespace) -> ProcessorConfig:
+    return ProcessorConfig(args.clusters, args.alus)
+
+
+def cmd_costs(args: argparse.Namespace) -> int:
+    config = _config(args)
+    model = CostModel(config)
+    area, energy, delay = model.area(), model.energy(), model.delay()
+    feas = feasibility(config, TECH_45NM)
+    print(f"{config.describe()}")
+    print(f"  area:   {area.total / 1e6:.1f} Mgrids "
+          f"({model.area_per_alu() / 1e6:.2f} per ALU)")
+    for name, value in area.as_dict().items():
+        print(f"    {name:20s} {value / 1e6:10.1f} Mgrids "
+              f"({value / area.total:5.1%})")
+    print(f"  energy: {model.energy_per_alu_op() / 1e6:.2f} ME_w per ALU op")
+    for name, value in energy.as_dict().items():
+        print(f"    {name:20s} {value / energy.total:5.1%}")
+    print(f"  delays: intracluster {delay.intracluster:.1f} FO4, "
+          f"intercluster {delay.intercluster:.1f} FO4")
+    print(f"  at 45nm/1GHz: {feas.peak_gops:.0f} GOPS peak, "
+          f"{feas.area_mm2:.1f} mm^2, {feas.power_watts:.1f} W")
+    if args.floorplan:
+        from .analysis.floorplan import render_floorplan
+
+        print()
+        print(render_floorplan(config))
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    if args.kernel not in KERNELS:
+        print(f"unknown kernel {args.kernel!r}; "
+              f"available: {', '.join(sorted(KERNELS))}", file=sys.stderr)
+        return 2
+    config = _config(args)
+    schedule = compile_kernel(get_kernel(args.kernel), config)
+    print(f"kernel '{args.kernel}' on {config.describe()}:")
+    print(f"  unroll factor:      {schedule.unroll_factor}")
+    print(f"  initiation interval {schedule.ii} "
+          f"({schedule.ii_per_iteration:.2f} per iteration; "
+          f"resource MII {schedule.resource_mii}, "
+          f"recurrence MII {schedule.recurrence_mii})")
+    print(f"  schedule length:    {schedule.length} cycles")
+    print(f"  registers:          {schedule.max_live}"
+          f"/{schedule.register_capacity}")
+    print(f"  sustained rate:     {schedule.ops_per_cycle():.1f} ops/cycle "
+          f"({schedule.efficiency:.0%} of ALU-issue bound)")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    if args.application not in APPLICATION_ORDER:
+        print(f"unknown application {args.application!r}; "
+              f"available: {', '.join(APPLICATION_ORDER)}", file=sys.stderr)
+        return 2
+    config = _config(args)
+    result = simulate(get_application(args.application), config)
+    print(f"{args.application} on {config.describe()}:")
+    print(f"  cycles:       {result.cycles}")
+    print(f"  sustained:    {result.gops:.1f} GOPS "
+          f"({result.alu_utilization:.1%} of peak)")
+    print(f"  memory busy:  {result.memory_utilization:.1%}")
+    print(f"  cluster busy: {result.cluster_utilization:.1%}")
+    print(f"  SRF spills:   {result.spill_words} words out, "
+          f"{result.reload_words} back")
+    lrf, srf, mem = result.bandwidth.gbps(result.cycles, result.clock_ghz)
+    print(f"  bandwidth:    LRF {lrf:.0f} / SRF {srf:.1f} / "
+          f"memory {mem:.2f} GB/s "
+          f"({result.bandwidth.locality_fraction:.1%} on-chip)")
+    if args.timeline:
+        for record in result.records:
+            print(f"    [{record.start:>9}..{record.finish:>9}] "
+                  f"{record.label}")
+    if args.gantt:
+        from .analysis.timeline import render_gantt
+
+        print()
+        print(render_gantt(result))
+    return 0
+
+
+def cmd_schedules(args: argparse.Namespace) -> int:
+    from .analysis.kernelreport import (
+        compilation_report,
+        render_compilation_report,
+    )
+
+    print(render_compilation_report(compilation_report()))
+    return 0
+
+
+_FIGURES = {
+    "fig6": lambda: render_stack_figure(
+        "Figure 6: area/ALU, intracluster (C=8, norm N=5)",
+        figure6_area_intracluster(), "N"),
+    "fig7": lambda: render_stack_figure(
+        "Figure 7: energy/op, intracluster (C=8, norm N=5)",
+        figure7_energy_intracluster(), "N"),
+    "fig8": lambda: render_delay_figure(
+        "Figure 8: delays, intracluster (C=8)",
+        figure8_delay_intracluster(), "N"),
+    "fig9": lambda: render_stack_figure(
+        "Figure 9: area/ALU, intercluster (N=5, norm C=8)",
+        figure9_area_intercluster(), "C"),
+    "fig10": lambda: render_stack_figure(
+        "Figure 10: energy/op, intercluster (N=5, norm C=8)",
+        figure10_energy_intercluster(), "C"),
+    "fig11": lambda: render_delay_figure(
+        "Figure 11: delays, intercluster (N=5)",
+        figure11_delay_intercluster(), "C"),
+    "fig13": lambda: render_speedup_figure(
+        "Figure 13: intracluster kernel speedup",
+        figure13_kernel_speedups(), "N"),
+    "fig14": lambda: render_speedup_figure(
+        "Figure 14: intercluster kernel speedup",
+        figure14_kernel_speedups(), "C"),
+    "table5": lambda: render_grid(
+        "Table 5: kernel performance per unit area",
+        table5_performance_per_area(), TABLE5_C_VALUES, TABLE5_N_VALUES),
+}
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    names = args.only or sorted(_FIGURES)
+    for name in names:
+        if name not in _FIGURES:
+            print(f"unknown figure {name!r}; "
+                  f"available: {', '.join(sorted(_FIGURES))}",
+                  file=sys.stderr)
+            return 2
+        print(_FIGURES[name]())
+        print()
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from .analysis.export import export_all
+
+    written = export_all(args.out, include_applications=args.apps)
+    for path in written:
+        print(path)
+    print(f"wrote {len(written)} CSV files to {args.out}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from .analysis.validate import render_validation, validate_all
+
+    results = validate_all(include_apps=args.apps)
+    print(render_validation(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def cmd_headline(args: argparse.Namespace) -> int:
+    h1 = headline_640(include_apps=args.apps)
+    h2 = headline_1280(include_apps=args.apps)
+    print("640-ALU (C=128 N=5) vs 40-ALU baseline:")
+    print(f"  area/ALU overhead:  {h1.area_per_alu_overhead - 1:+.1%} "
+          "(paper +2%)")
+    print(f"  energy/op overhead: {h1.energy_per_op_overhead - 1:+.1%} "
+          "(paper +7%)")
+    print(f"  kernel speedup:     {h1.kernel_speedup:.1f}x (paper 15.3x)")
+    if args.apps:
+        print(f"  app speedup:        {h1.application_speedup:.1f}x "
+              "(paper 8.0x)")
+    print(f"  kernel GOPS:        {h1.kernel_gops:.0f} (paper >300)")
+    print("1280-ALU (C=128 N=10):")
+    print(f"  kernel speedup:     {h2.kernel_speedup:.1f}x (paper 27.9x)")
+    if args.apps:
+        print(f"  app speedup:        {h2.application_speedup:.1f}x "
+              "(paper ~10x)")
+    print(f"  peak:               {h2.peak_gops:.0f} GOPS at "
+          f"{h2.power_watts:.1f} W (paper >1 TFLOP, <10 W)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Stream-processor VLSI scalability (HPCA 2003) tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    costs = sub.add_parser("costs", help="evaluate the VLSI cost model")
+    _add_config_arguments(costs)
+    costs.add_argument("--floorplan", action="store_true",
+                       help="print the Figure 4/5 physical geometry")
+    costs.set_defaults(func=cmd_costs)
+
+    comp = sub.add_parser("compile", help="compile a suite kernel")
+    comp.add_argument("kernel", help="kernel name (e.g. fft)")
+    _add_config_arguments(comp)
+    comp.set_defaults(func=cmd_compile)
+
+    sim = sub.add_parser("simulate", help="simulate an application")
+    sim.add_argument("application", help="application name (e.g. depth)")
+    _add_config_arguments(sim)
+    sim.add_argument("--timeline", action="store_true",
+                     help="print the stream-operation timeline")
+    sim.add_argument("--gantt", action="store_true",
+                     help="draw a proportional ASCII Gantt chart")
+    sim.set_defaults(func=cmd_simulate)
+
+    report = sub.add_parser(
+        "schedules", help="per-kernel compilation report (II, bounds...)"
+    )
+    report.set_defaults(func=cmd_schedules)
+
+    figs = sub.add_parser("figures", help="regenerate tables/figures")
+    figs.add_argument("--only", nargs="*",
+                      help=f"subset: {', '.join(sorted(_FIGURES))}")
+    figs.set_defaults(func=cmd_figures)
+
+    head = sub.add_parser("headline", help="check the headline claims")
+    head.add_argument("--apps", action="store_true",
+                      help="include application simulations (slower)")
+    head.set_defaults(func=cmd_headline)
+
+    val = sub.add_parser(
+        "validate", help="check every paper anchor (exit 1 on failure)"
+    )
+    val.add_argument("--apps", action="store_true",
+                     help="include application simulations (slower)")
+    val.set_defaults(func=cmd_validate)
+
+    export = sub.add_parser(
+        "export", help="write every figure/table as CSV"
+    )
+    export.add_argument("--out", default="paper_data",
+                        help="output directory (default: paper_data)")
+    export.add_argument("--apps", action="store_true",
+                        help="include the Figure 15 sweep (slower)")
+    export.set_defaults(func=cmd_export)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""VLIW kernel compiler (the Imagine kernel-scheduler substitute)."""
+
+from .listsched import ListSchedule, list_schedule
+from .machine import MachineDescription, build_machine
+from .modulo import (
+    ModuloSchedule,
+    recurrence_mii,
+    resource_mii,
+    try_modulo_schedule,
+    verify_schedule,
+)
+from .pipeline import (
+    CompilationError,
+    KernelSchedule,
+    clear_cache,
+    compile_kernel,
+)
+from .pressure import live_per_class, max_live
+from .unroll import SchedGraph, build_sched_graph, choose_unroll_factor
+
+__all__ = [
+    "CompilationError",
+    "KernelSchedule",
+    "ListSchedule",
+    "MachineDescription",
+    "ModuloSchedule",
+    "SchedGraph",
+    "build_machine",
+    "build_sched_graph",
+    "choose_unroll_factor",
+    "clear_cache",
+    "compile_kernel",
+    "list_schedule",
+    "live_per_class",
+    "max_live",
+    "recurrence_mii",
+    "resource_mii",
+    "try_modulo_schedule",
+    "verify_schedule",
+]

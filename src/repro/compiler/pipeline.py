@@ -1,0 +1,200 @@
+"""Kernel compilation driver: kernel graph + (C, N) -> schedule + rates.
+
+Mirrors the paper's toolchain step "each kernel ... was then recompiled
+for different architectures" (section 5): pick an unroll factor, software-
+pipeline the body with the modulo scheduler, enforce LRF register
+pressure, and report the initiation interval and schedule length that the
+performance analysis and the application simulator consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.config import ProcessorConfig
+from ..isa.kernel import KernelGraph
+from .machine import MachineDescription, build_machine
+from .modulo import ModuloSchedule, try_modulo_schedule, verify_schedule
+from .pressure import max_live
+from .unroll import SchedGraph, build_sched_graph, choose_unroll_factor
+
+#: Upper bound on the II search: a kernel that cannot be pipelined below
+#: this multiple of its MII (plus slack) indicates a modeling bug.
+MAX_II_SLACK = 64
+
+
+@dataclass(frozen=True)
+class KernelSchedule:
+    """The compiled form of one kernel for one processor configuration."""
+
+    kernel_name: str
+    config: ProcessorConfig
+    unroll_factor: int
+    #: Initiation interval of the *unrolled* body (cycles).
+    ii: int
+    #: Cycles from first issue to last writeback of one body (prologue
+    #: depth of the software pipeline).
+    length: int
+    max_live: int
+    register_capacity: int
+    resource_mii: int
+    recurrence_mii: int
+    alu_ops_per_iteration: int
+
+    @property
+    def ii_per_iteration(self) -> float:
+        """Steady-state cycles per original kernel-loop iteration."""
+        return self.ii / self.unroll_factor
+
+    @property
+    def ops_per_cycle_per_cluster(self) -> float:
+        """Sustained ALU operations per cycle in one cluster."""
+        return self.alu_ops_per_iteration / self.ii_per_iteration
+
+    def ops_per_cycle(self) -> float:
+        """Sustained whole-chip ALU operations per cycle (C clusters)."""
+        return self.ops_per_cycle_per_cluster * self.config.clusters
+
+    def inner_loop_cycles(self, iterations: int) -> int:
+        """Cycles to run ``iterations`` per-cluster loop iterations.
+
+        One schedule-length pass covers the pipeline fill and drain
+        (prologue, priming, epilogue); each further unrolled body costs
+        one II.  Short streams pay the fixed ``length`` over few
+        iterations — the paper's short-stream effect.
+        """
+        if iterations <= 0:
+            return 0
+        bodies = -(-iterations // self.unroll_factor)
+        return self.length + self.ii * max(0, bodies - 1)
+
+    @property
+    def instruction_count(self) -> int:
+        """VLIW words the kernel occupies in microcode storage."""
+        return self.length
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved fraction of the ALU-issue bound (1.0 = perfect)."""
+        peak = self.alu_ops_per_iteration * self.unroll_factor / (
+            self.config.alus_per_cluster
+        )
+        return peak / self.ii
+
+
+class CompilationError(RuntimeError):
+    """The scheduler could not produce a valid schedule."""
+
+
+def compile_kernel(
+    kernel: KernelGraph,
+    config: ProcessorConfig,
+    unroll_factor: Optional[int] = None,
+    verify: bool = True,
+    alu_mix: Optional[Dict[str, float]] = None,
+) -> KernelSchedule:
+    """Compile ``kernel`` for ``config`` (cached; see :func:`clear_cache`).
+
+    Searches IIs upward from the MII until both the modulo scheduler
+    succeeds and the schedule's MaxLive fits the cluster's LRF capacity —
+    register pressure is what makes very small IIs unprofitable at large
+    ``N``, the paper's intracluster roll-off.
+
+    ``alu_mix`` compiles against a heterogeneous ALU pool (see
+    :func:`repro.compiler.machine.build_machine`); the default is the
+    paper's homogeneous-ALU abstraction.
+    """
+    machine = build_machine(config, alu_mix)
+    if unroll_factor is None:
+        unroll_factor = choose_unroll_factor(kernel, machine)
+    key = _cache_key(kernel, machine, unroll_factor)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    # Register pressure may defeat an aggressive unroll at every II; the
+    # compiler then backs off to smaller bodies (less ILP, same result).
+    graph = None
+    schedule = None
+    while True:
+        graph = build_sched_graph(kernel, machine, unroll_factor)
+        try:
+            schedule = _search_ii(graph, machine, verify=verify)
+            break
+        except CompilationError:
+            if unroll_factor == 1:
+                raise
+            unroll_factor //= 2
+    result = KernelSchedule(
+        kernel_name=kernel.name,
+        config=config,
+        unroll_factor=unroll_factor,
+        ii=schedule.ii,
+        length=schedule.length,
+        max_live=max_live(graph, schedule.start, schedule.ii),
+        register_capacity=machine.register_capacity,
+        resource_mii=schedule.resource_mii,
+        recurrence_mii=schedule.recurrence_mii,
+        alu_ops_per_iteration=graph.alu_ops_per_iteration,
+    )
+    _CACHE[key] = result
+    _CACHE_KERNELS[id(kernel)] = kernel  # pin to keep ids unique
+    return result
+
+
+def _search_ii(
+    graph: SchedGraph, machine: MachineDescription, verify: bool
+) -> ModuloSchedule:
+    from .modulo import recurrence_mii, resource_mii
+
+    mii = max(resource_mii(graph, machine), recurrence_mii(graph, machine))
+    last_failure = "no attempt"
+    for ii in range(mii, mii * 4 + MAX_II_SLACK):
+        schedule = try_modulo_schedule(graph, machine, ii)
+        if schedule is None:
+            last_failure = f"scheduler budget exhausted at II={ii}"
+            continue
+        pressure = max_live(graph, schedule.start, ii)
+        if pressure > machine.register_capacity:
+            last_failure = (
+                f"MaxLive {pressure} exceeds {machine.register_capacity} "
+                f"registers at II={ii}"
+            )
+            continue
+        if verify:
+            verify_schedule(graph, machine, schedule)
+        return schedule
+    raise CompilationError(
+        f"cannot schedule kernel '{graph.name}' on {machine.describe()}: "
+        f"{last_failure}"
+    )
+
+
+# --- compilation cache -------------------------------------------------
+
+_CACHE: Dict[Tuple, KernelSchedule] = {}
+_CACHE_KERNELS: Dict[int, KernelGraph] = {}
+
+
+def _cache_key(
+    kernel: KernelGraph, machine: MachineDescription, unroll_factor: int
+) -> Tuple:
+    slots = tuple(sorted(machine.issue_slots.items()))
+    return (
+        id(kernel),
+        kernel.name,
+        machine.config.clusters,
+        machine.config.alus_per_cluster,
+        slots,
+        machine.extra_pipeline_stages,
+        machine.comm_latency,
+        machine.register_capacity,
+        unroll_factor,
+    )
+
+
+def clear_cache() -> None:
+    """Drop all cached compilations (tests that mutate kernels use this)."""
+    _CACHE.clear()
+    _CACHE_KERNELS.clear()

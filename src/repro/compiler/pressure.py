@@ -1,0 +1,79 @@
+"""Register-pressure estimation for software-pipelined schedules.
+
+Software pipelining overlaps loop iterations, so a value produced in one
+iteration may still be live while several later iterations execute; the
+number of simultaneously live values (*MaxLive*) must fit in the cluster's
+LRF capacity.  This is the mechanism that limits intracluster scaling in
+practice: at large ``N`` the initiation interval is small, many iterations
+overlap, and register pressure forces either a larger II or less
+unrolling — the paper's "limited ILP" roll-off beyond ~10 ALUs/cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..isa.ops import FUClass
+from .unroll import SchedGraph
+
+
+def max_live(graph: SchedGraph, start: Dict[int, int], ii: int) -> int:
+    """MaxLive of a modulo schedule: peak register words in any modulo slot.
+
+    The register organization is *distributed* (one two-ported LRF per
+    functional-unit input, Rixner et al.): the intracluster switch writes
+    a result into the LRF of **every** functional unit that will consume
+    it, so a value costs one register per distinct consumer, from its
+    definition (``start[u]``) until that consumer reads it
+    (``start[v] + II * distance``).  Intervals longer than ``II`` wrap
+    and occupy some modulo slots more than once (rotating through the
+    LRF).  This per-consumer duplication is what makes aggressive
+    software pipelining expensive at large ``N``: small IIs overlap many
+    iterations and the copies multiply.
+    """
+    if ii < 1:
+        raise ValueError("initiation interval must be >= 1")
+    usage = [0] * ii
+    for u in range(len(graph)):
+        if graph.opcodes[u].fu_class is FUClass.NONE:
+            continue  # constants and loop indices live in immediates
+        defined = start[u]
+        for v, _lat, dist in graph.succs[u]:
+            last_use = start[v] + ii * dist
+            if last_use <= defined:
+                continue
+            span = last_use - defined
+            wraps, remainder = divmod(span, ii)
+            for slot in range(ii):
+                usage[slot] += wraps
+            for offset in range(remainder):
+                usage[(defined + offset) % ii] += 1
+    return max(usage, default=0)
+
+
+def live_per_class(
+    graph: SchedGraph, start: Dict[int, int], ii: int
+) -> Dict[FUClass, int]:
+    """MaxLive separated by producing functional-unit class (diagnostics)."""
+    result: Dict[FUClass, int] = {}
+    for cls in FUClass:
+        usage = [0] * ii
+        if cls is FUClass.NONE:
+            result[cls] = 0  # immediates occupy no LRF entries
+            continue
+        for u in range(len(graph)):
+            if graph.opcodes[u].fu_class is not cls:
+                continue
+            defined = start[u]
+            for v, _lat, dist in graph.succs[u]:
+                last_use = start[v] + ii * dist
+                if last_use <= defined:
+                    continue
+                span = last_use - defined
+                wraps, remainder = divmod(span, ii)
+                for slot in range(ii):
+                    usage[slot] += wraps
+                for offset in range(remainder):
+                    usage[(defined + offset) % ii] += 1
+        result[cls] = max(usage, default=0)
+    return result

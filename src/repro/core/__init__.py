@@ -1,0 +1,79 @@
+"""VLSI cost models and scaling studies — the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.core.params.MachineParameters` — paper Table 1.
+* :class:`~repro.core.config.ProcessorConfig` — one (C, N) design point.
+* :class:`~repro.core.costs.CostModel` — paper Table 3 area/delay/energy.
+* :mod:`~repro.core.scaling` — the Figure 6-12 sweeps.
+* :mod:`~repro.core.technology` — process-node scaling and feasibility.
+* :mod:`~repro.core.baseline` — unified-register-file comparison.
+"""
+
+from .config import (
+    BASELINE_CONFIG,
+    HEADLINE_640,
+    HEADLINE_1280,
+    IMAGINE_CONFIG,
+    ProcessorConfig,
+)
+from .costs import AreaBreakdown, CostModel, DelayBreakdown, EnergyBreakdown
+from .crossbar import (
+    SparseSwitchModel,
+    breakeven_connectivity,
+    connectivity_sweep,
+    sparse_is_profitable,
+)
+from .efficiency import harmonic_mean, performance_per_area
+from .multiprocessor import partition_costs, partition_sweep, pipeline_speedup
+from .sensitivity import optimal_cluster_size, parameter_sensitivity, sensitivity_report
+from .params import (
+    CUSTOM_PARAMETERS,
+    IMAGINE_PARAMETERS,
+    TECH_45NM,
+    TECH_180NM,
+    MachineParameters,
+    TechnologyNode,
+)
+from .scaling import (
+    ScalingPoint,
+    combined_sweep,
+    evaluate_point,
+    intercluster_sweep,
+    intracluster_sweep,
+)
+
+__all__ = [
+    "AreaBreakdown",
+    "BASELINE_CONFIG",
+    "CostModel",
+    "CUSTOM_PARAMETERS",
+    "DelayBreakdown",
+    "EnergyBreakdown",
+    "HEADLINE_1280",
+    "HEADLINE_640",
+    "IMAGINE_CONFIG",
+    "IMAGINE_PARAMETERS",
+    "MachineParameters",
+    "ProcessorConfig",
+    "ScalingPoint",
+    "SparseSwitchModel",
+    "TECH_180NM",
+    "TECH_45NM",
+    "TechnologyNode",
+    "breakeven_connectivity",
+    "combined_sweep",
+    "connectivity_sweep",
+    "evaluate_point",
+    "harmonic_mean",
+    "intercluster_sweep",
+    "intracluster_sweep",
+    "optimal_cluster_size",
+    "parameter_sensitivity",
+    "partition_costs",
+    "partition_sweep",
+    "performance_per_area",
+    "pipeline_speedup",
+    "sensitivity_report",
+    "sparse_is_profitable",
+]

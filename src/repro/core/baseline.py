@@ -1,0 +1,207 @@
+"""Unified-register-file baseline (paper section 3, citing Rixner et al.).
+
+The paper motivates the stream register organization by comparing a
+C=8/N=6 stream processor against a 48-ALU processor whose ALUs share one
+flat, centrally-ported register file: the stream organization takes
+roughly two orders of magnitude less register-file area and energy for an
+~8% performance cost.
+
+This module implements the classic multiported-register-file cost model
+behind that comparison.  A register file with ``p`` ports grows
+quadratically in area with ``p`` (each storage cell is crossed by one
+wordline and one bitline pair per port) and its per-access energy grows
+with the resulting wire lengths.  The stream organization replaces one
+``3N``-ported file with ``2N`` two-ported LRFs plus an SRF, paying instead
+for explicit switches — the trade the cost models in
+:mod:`repro.core.costs` quantify.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .config import ProcessorConfig
+from .costs import CostModel
+from .params import IMAGINE_PARAMETERS, MachineParameters
+
+
+@dataclass(frozen=True)
+class RegisterFile:
+    """A multiported SRAM register file.
+
+    Parameters
+    ----------
+    words:
+        Storage capacity in architectural words.
+    read_ports, write_ports:
+        Port counts.  Every port adds one wordline (cell height) and one
+        bitline pair (cell width).
+    params:
+        Machine parameters supplying the word width and wire energy.
+    """
+
+    words: int
+    read_ports: int
+    write_ports: int
+    params: MachineParameters = IMAGINE_PARAMETERS
+
+    #: Base storage cell dimensions in tracks (cell with zero ports).
+    CELL_BASE_TRACKS: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.words < 1:
+            raise ValueError("register file needs at least one word")
+        if self.read_ports < 1 or self.write_ports < 0:
+            raise ValueError("register file needs ports")
+
+    @property
+    def ports(self) -> int:
+        return self.read_ports + self.write_ports
+
+    @property
+    def cell_width_tracks(self) -> float:
+        """Bit-cell width: one bitline pair (2 tracks) per port."""
+        return self.CELL_BASE_TRACKS + 2.0 * self.ports
+
+    @property
+    def cell_height_tracks(self) -> float:
+        """Bit-cell height: one wordline track per port."""
+        return self.CELL_BASE_TRACKS + 1.0 * self.ports
+
+    @property
+    def area(self) -> float:
+        """Total area in grids."""
+        bits = self.words * self.params.b
+        return bits * self.cell_width_tracks * self.cell_height_tracks
+
+    @property
+    def width_tracks(self) -> float:
+        """Physical array width (bits of one word side by side)."""
+        return self.params.b * self.cell_width_tracks
+
+    @property
+    def height_tracks(self) -> float:
+        """Physical array height (words stacked)."""
+        return self.words * self.cell_height_tracks
+
+    def access_energy(self) -> float:
+        """Energy of one word access (units of ``E_w``).
+
+        An access drives one wordline across the array width and, for
+        every bit, a bitline across the array height.
+        """
+        wordline = self.width_tracks
+        bitlines = self.params.b * self.height_tracks
+        return self.params.e_w * (wordline + bitlines)
+
+    def access_delay_fo4(self, v0: float | None = None) -> float:
+        """Wire-propagation delay of one access in FO4s."""
+        velocity = v0 if v0 is not None else self.params.v0
+        return (self.width_tracks + self.height_tracks) / velocity
+
+
+@dataclass(frozen=True)
+class OrganizationComparison:
+    """Area/energy comparison between register organizations."""
+
+    unified_area: float
+    stream_area: float
+    unified_energy_per_op: float
+    stream_energy_per_op: float
+
+    @property
+    def area_ratio(self) -> float:
+        """How many times more register area the unified org needs."""
+        return self.unified_area / self.stream_area
+
+    @property
+    def energy_ratio(self) -> float:
+        """How many times more register energy per ALU op it needs."""
+        return self.unified_energy_per_op / self.stream_energy_per_op
+
+
+#: Architectural registers a VLIW ALU needs for software pipelining.
+WORDS_PER_ALU = 32
+
+#: Register-file ports per ALU: two reads and one write per operation.
+PORTS_PER_ALU = (2, 1)
+
+
+def compare_unified_vs_stream(
+    config: ProcessorConfig | None = None,
+) -> OrganizationComparison:
+    """The section 3 comparison: one flat register file vs the stream org.
+
+    The unified machine has the same total ALU count and the same
+    aggregate register capacity (local registers plus stream staging) as
+    the stream machine, but serves every operand from a single file with
+    ``3 * ALUs`` ports.  The stream machine's register cost is its LRFs,
+    SRF banks and the switches that connect them — taken from the Table 3
+    cost model.
+
+    Returns the area and per-ALU-operation energy of both organizations
+    (register structures only, as in Rixner et al.).
+    """
+    if config is None:
+        config = ProcessorConfig(8, 6)
+    params = config.params
+    total_alus = config.total_alus
+    model = CostModel(config)
+
+    # --- stream organization ------------------------------------------
+    # Register structures: LRFs (inside cluster area), SRF banks, and the
+    # intra/intercluster switches.
+    lrf_area = config.clusters * config.n_fu_cost * params.w_lrf * params.h
+    srf_area = config.clusters * model.srf_bank_area()
+    switch_area = (
+        config.clusters * model.intracluster_switch_area()
+        + model.intercluster_switch_area()
+    )
+    stream_area = lrf_area + srf_area + switch_area
+
+    # Energy per ALU op: LRF accesses (2 reads + 1 write), the result's
+    # switch traversal, and the amortized SRF traffic.
+    stream_energy = (
+        3.0 * params.e_lrf
+        + params.b * model.intracluster_switch_energy()
+        + (model.srf_bank_energy() / config.alus_per_cluster)
+        + params.g_comm * params.b * model.intercluster_switch_energy()
+    )
+
+    # --- unified organization ------------------------------------------
+    # Same aggregate capacity: per-ALU working registers plus the stream
+    # staging capacity the SRF provided.
+    capacity_words = int(
+        total_alus * WORDS_PER_ALU + config.srf_capacity_words
+    )
+    reads, writes = PORTS_PER_ALU
+    unified = RegisterFile(
+        words=capacity_words,
+        read_ports=reads * total_alus,
+        write_ports=writes * total_alus,
+        params=params,
+    )
+    unified_energy = 3.0 * unified.access_energy()
+
+    return OrganizationComparison(
+        unified_area=unified.area,
+        stream_area=stream_area,
+        unified_energy_per_op=unified_energy,
+        stream_energy_per_op=stream_energy,
+    )
+
+
+def unified_cycle_time_fo4(config: ProcessorConfig | None = None) -> float:
+    """Access delay of the unified file (FO4) — why it cannot cycle fast."""
+    if config is None:
+        config = ProcessorConfig(8, 6)
+    reads, writes = PORTS_PER_ALU
+    total_alus = config.total_alus
+    unified = RegisterFile(
+        words=int(total_alus * WORDS_PER_ALU + config.srf_capacity_words),
+        read_ports=reads * total_alus,
+        write_ports=writes * total_alus,
+        params=config.params,
+    )
+    return unified.access_delay_fo4()

@@ -1,0 +1,175 @@
+"""Sparse (non-fully-connected) switch ablation (paper section 6).
+
+The paper's conclusion names "utilizing non-fully-connected crossbars
+for the intracluster and intercluster switches" as the next
+architectural optimization for area and energy efficiency.  This module
+implements that study: a :class:`SparseSwitchModel` scales the switch
+terms of the Table 3 cost model by a *connectivity factor* — the
+fraction of (source, destination) pairs the switch physically provides —
+and quantifies the cost side of the trade.
+
+What a sparse switch buys
+-------------------------
+Row/column bus count, crosspoint count, and therefore switch area and
+per-traversal energy all scale roughly linearly with connectivity; wire
+delay scales with the square root (the switch occupies less die, so
+traversals are shorter).
+
+What it costs
+-------------
+A connectivity below 1.0 restricts which functional unit can forward to
+which LRF in one hop; the compiler must either constrain placement or
+insert extra copy operations.  We surface that as
+:meth:`SparseSwitchModel.copy_overhead`, the expected extra ALU
+occupancy per operation, so the ablation benchmark can report both
+sides of the trade (the paper left the software side to future work —
+"As software tools for exploiting these two techniques mature...").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .config import ProcessorConfig
+from .costs import AreaBreakdown, CostModel
+
+
+@dataclass(frozen=True)
+class SparseSwitchCosts:
+    """Cost summary of one configuration under a sparse switch."""
+
+    config: ProcessorConfig
+    connectivity: float
+    area_per_alu: float
+    energy_per_alu_op: float
+    intracluster_delay: float
+    intercluster_delay: float
+    copy_overhead: float
+
+    def area_saving_vs(self, full: "SparseSwitchCosts") -> float:
+        """Fractional area-per-ALU saving versus the full crossbar."""
+        return 1.0 - self.area_per_alu / full.area_per_alu
+
+    def energy_saving_vs(self, full: "SparseSwitchCosts") -> float:
+        """Fractional energy-per-op saving versus the full crossbar."""
+        return 1.0 - self.energy_per_alu_op / full.energy_per_alu_op
+
+
+class SparseSwitchModel(CostModel):
+    """Cost model with partially-connected intra/intercluster switches.
+
+    ``connectivity`` = 1.0 reproduces :class:`CostModel` exactly; 0.5
+    means each output reaches half the inputs directly.
+    """
+
+    def __init__(self, config: ProcessorConfig, connectivity: float = 1.0):
+        if not 0.0 < connectivity <= 1.0:
+            raise ValueError("connectivity must be in (0, 1]")
+        super().__init__(config)
+        self.connectivity = connectivity
+
+    # --- switch structures scale with connectivity -----------------------
+
+    def intracluster_switch_area(self) -> float:
+        return self.connectivity * super().intracluster_switch_area()
+
+    def intercluster_switch_area(self) -> float:
+        return self.connectivity * super().intercluster_switch_area()
+
+    def intracluster_switch_energy(self) -> float:
+        # Shorter buses: wire length shrinks with the sqrt of switch
+        # area, and fewer crosspoints load each wire.
+        return math.sqrt(self.connectivity) * (
+            super().intracluster_switch_energy()
+        )
+
+    def intercluster_switch_energy(self) -> float:
+        return math.sqrt(self.connectivity) * (
+            super().intercluster_switch_energy()
+        )
+
+    def _intra_logic_delay(self) -> float:
+        # The selection tree narrows: log2 of the reachable sources.
+        p, c = self.params, self.config
+        reachable = max(2.0, self.connectivity * c.n_fu_cost)
+        return p.t_mux * (
+            math.log2(reachable) + math.sqrt(reachable)
+        )
+
+    # --- software cost ---------------------------------------------------
+
+    def copy_overhead(self) -> float:
+        """Expected extra copy operations per ALU operation.
+
+        With connectivity ``k``, a uniformly-random (producer, consumer)
+        pair is directly connected with probability ``k``; a miss costs
+        one copy through an intermediate unit (two-hop routing covers
+        the rest for any reasonable topology).
+        """
+        return 1.0 - self.connectivity
+
+    def summarize(self) -> SparseSwitchCosts:
+        return SparseSwitchCosts(
+            config=self.config,
+            connectivity=self.connectivity,
+            area_per_alu=self.area_per_alu(),
+            energy_per_alu_op=self.energy_per_alu_op(),
+            intracluster_delay=self.intracluster_delay(),
+            intercluster_delay=self.intercluster_delay(),
+            copy_overhead=self.copy_overhead(),
+        )
+
+
+def connectivity_sweep(
+    config: ProcessorConfig,
+    connectivities=(1.0, 0.75, 0.5, 0.25),
+) -> list:
+    """The section 6 ablation: costs across switch connectivities."""
+    return [
+        SparseSwitchModel(config, k).summarize() for k in connectivities
+    ]
+
+
+def copy_energy(config: ProcessorConfig, connectivity: float) -> float:
+    """Energy of one routing copy: an LRF write plus a (sparse) switch
+    traversal of one word."""
+    model = SparseSwitchModel(config, connectivity)
+    p = config.params
+    return p.e_lrf + p.b * model.intracluster_switch_energy()
+
+
+def sparse_is_profitable(
+    config: ProcessorConfig, connectivity: float
+) -> bool:
+    """Does this connectivity save net energy per ALU operation?"""
+    full = SparseSwitchModel(config, 1.0).summarize()
+    sparse = SparseSwitchModel(config, connectivity).summarize()
+    saving = full.energy_per_alu_op - sparse.energy_per_alu_op
+    copies = sparse.copy_overhead * copy_energy(config, connectivity)
+    return saving > copies
+
+
+def breakeven_connectivity(
+    config: ProcessorConfig, tolerance: float = 1e-3
+) -> float:
+    """Sparsest connectivity that still saves net energy per ALU op.
+
+    The answer to the paper's future-work question, and it lands where
+    the paper's scaling analysis predicts: at the N=5 sweet spot the
+    switch is too small a share of energy for sparsening to beat the
+    copy overhead (returns 1.0 — keep the full crossbar), while for
+    clusters of ~16+ ALUs, where "the VLSI costs of the arithmetic
+    clusters are dominated by the N_FU^{3/2} term in the intracluster
+    switch area", substantially sparser switches win.
+    """
+    if not sparse_is_profitable(config, 1.0 - tolerance):
+        return 1.0
+    lo, hi = 0.01, 1.0
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if sparse_is_profitable(config, mid):
+            hi = mid  # still profitable: can go sparser
+        else:
+            lo = mid
+    return hi

@@ -1,0 +1,120 @@
+"""Multiple stream processors per die (paper section 6's alternative).
+
+The paper's other future-work question: instead of one processor with
+``C`` clusters, put ``M`` independent stream processors (each with
+``C / M`` clusters, its own microcontroller, stream controller and SRF)
+on the die, "simultaneously executing different kernels of one stream
+program".
+
+This module quantifies both sides:
+
+* **hardware** — :func:`partition_costs` evaluates the Table 3 models
+  for the partitioned organization: per-ALU area *rises* (each
+  partition replicates the microcode store) while intercluster wires
+  *shorten* (each switch spans only its partition);
+* **performance** — :func:`pipeline_speedup` bounds what M processors
+  running a kernel *pipeline* can achieve: each kernel runs on a
+  machine with ``1/M`` of the clusters (so each stage is M times
+  slower), stages overlap across batches, and throughput is set by the
+  slowest stage — profitable only when a program has at least M
+  similarly-heavy kernels and enough batches to fill the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .config import ProcessorConfig
+from .costs import CostModel
+
+
+@dataclass(frozen=True)
+class PartitionCosts:
+    """Cost summary of one die organization."""
+
+    processors: int
+    clusters_per_processor: int
+    area_per_alu: float
+    energy_per_alu_op: float
+    intercluster_delay: float
+
+    @property
+    def total_clusters(self) -> int:
+        return self.processors * self.clusters_per_processor
+
+
+def partition_costs(
+    config: ProcessorConfig, processors: int
+) -> PartitionCosts:
+    """Costs of splitting ``config`` into ``processors`` equal machines.
+
+    The total ALU count is preserved; each partition is a complete
+    stream processor evaluated with the ordinary cost model (so the
+    microcontroller and SRF replication is charged naturally).
+    """
+    if processors < 1:
+        raise ValueError("need at least one processor")
+    if config.clusters % processors:
+        raise ValueError(
+            f"{config.clusters} clusters do not split into "
+            f"{processors} equal processors"
+        )
+    sub = ProcessorConfig(
+        config.clusters // processors,
+        config.alus_per_cluster,
+        config.params,
+    )
+    model = CostModel(sub)
+    sub_area = model.area().total
+    sub_energy = model.energy().total
+    total_alus = config.total_alus
+    return PartitionCosts(
+        processors=processors,
+        clusters_per_processor=sub.clusters,
+        area_per_alu=processors * sub_area / total_alus,
+        energy_per_alu_op=processors * sub_energy / total_alus,
+        intercluster_delay=model.intercluster_delay(),
+    )
+
+
+def partition_sweep(
+    config: ProcessorConfig, processor_counts: Sequence[int] = (1, 2, 4, 8)
+) -> List[PartitionCosts]:
+    """The section 6 comparison across die organizations."""
+    return [partition_costs(config, m) for m in processor_counts]
+
+
+def pipeline_speedup(
+    kernel_weights: Sequence[float], processors: int, batches: int
+) -> float:
+    """Throughput of a kernel pipeline over M processors vs one machine.
+
+    ``kernel_weights`` are the kernels' relative execution times on the
+    *whole* machine; on a ``1/M`` machine each takes ``M`` times as
+    long.  One big machine runs the kernels back-to-back per batch; the
+    M-processor pipeline overlaps different kernels of different
+    batches, with a fill cost of ``processors - 1`` stage slots.
+
+    Returns the speedup of the pipelined organization (values < 1 mean
+    the single large machine wins).
+    """
+    if processors < 1:
+        raise ValueError("need at least one processor")
+    if batches < 1:
+        raise ValueError("need at least one batch")
+    weights = list(kernel_weights)
+    if not weights or any(w <= 0 for w in weights):
+        raise ValueError("kernel weights must be positive")
+    if processors == 1:
+        return 1.0
+    # Big machine: every batch runs all kernels serially.
+    big_time = batches * sum(weights)
+    # Pipeline: assign kernels round-robin to processors; each stage's
+    # time is its kernels' total, M-times slower per kernel.
+    stages = [0.0] * processors
+    for i, w in enumerate(weights):
+        stages[i % processors] += w * processors
+    bottleneck = max(stages)
+    pipe_time = bottleneck * (batches + processors - 1)
+    return big_time / pipe_time

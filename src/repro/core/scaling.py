@@ -1,0 +1,174 @@
+"""Scaling studies over the (C, N) design space (paper Figures 6-12).
+
+Three sweeps are provided, mirroring the paper's section 4:
+
+* :func:`intracluster_sweep` — fix ``C``, grow ``N`` (Figures 6-8),
+* :func:`intercluster_sweep` — fix ``N``, grow ``C`` (Figures 9-11),
+* :func:`combined_sweep`     — grow both (Figure 12).
+
+Each sweep returns a list of :class:`ScalingPoint` records carrying the
+per-ALU area and per-ALU-operation energy broken down by component, plus
+the switch delays — everything the paper's figures plot.  Normalization
+helpers divide a series by a designated reference point, as the paper's
+figures do (N=5 for intracluster, C=8 for intercluster, C=32/N=5 for
+combined scaling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from .config import ProcessorConfig
+from .costs import AreaBreakdown, CostModel, DelayBreakdown, EnergyBreakdown
+from .params import IMAGINE_PARAMETERS, MachineParameters
+
+#: The N values the paper plots for intracluster scaling (Figures 6-8).
+INTRACLUSTER_N_VALUES = (2, 3, 4, 5, 6, 8, 10, 12, 14, 16, 24, 32, 48, 64, 96, 128)
+
+#: The C values the paper plots for intercluster scaling (Figures 9-11).
+INTERCLUSTER_C_VALUES = (8, 16, 32, 64, 128, 256)
+
+#: The N values of the combined-scaling study (Figure 12).
+COMBINED_N_VALUES = (2, 5, 16)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Costs of one (C, N) configuration, in per-ALU units."""
+
+    config: ProcessorConfig
+    area_per_alu: AreaBreakdown
+    energy_per_alu_op: EnergyBreakdown
+    delay: DelayBreakdown
+
+    @property
+    def clusters(self) -> int:
+        return self.config.clusters
+
+    @property
+    def alus_per_cluster(self) -> int:
+        return self.config.alus_per_cluster
+
+    @property
+    def total_alus(self) -> int:
+        return self.config.total_alus
+
+
+def evaluate_point(config: ProcessorConfig) -> ScalingPoint:
+    """Evaluate the full cost model at one configuration."""
+    model = CostModel(config)
+    return ScalingPoint(
+        config=config,
+        area_per_alu=model.area().per_alu(config.total_alus),
+        energy_per_alu_op=model.energy().per_alu_op(config.total_alus),
+        delay=model.delay(),
+    )
+
+
+def intracluster_sweep(
+    clusters: int = 8,
+    n_values: Sequence[int] = INTRACLUSTER_N_VALUES,
+    params: MachineParameters = IMAGINE_PARAMETERS,
+) -> List[ScalingPoint]:
+    """Sweep ALUs per cluster at fixed cluster count (Figures 6-8)."""
+    return [
+        evaluate_point(ProcessorConfig(clusters, n, params)) for n in n_values
+    ]
+
+
+def intercluster_sweep(
+    alus_per_cluster: int = 5,
+    c_values: Sequence[int] = INTERCLUSTER_C_VALUES,
+    params: MachineParameters = IMAGINE_PARAMETERS,
+) -> List[ScalingPoint]:
+    """Sweep cluster count at fixed cluster size (Figures 9-11)."""
+    return [
+        evaluate_point(ProcessorConfig(c, alus_per_cluster, params))
+        for c in c_values
+    ]
+
+
+def combined_sweep(
+    n_values: Sequence[int] = COMBINED_N_VALUES,
+    c_values: Sequence[int] = INTERCLUSTER_C_VALUES,
+    params: MachineParameters = IMAGINE_PARAMETERS,
+) -> List[List[ScalingPoint]]:
+    """The Figure 12 grid: one intercluster sweep per cluster size."""
+    return [intercluster_sweep(n, c_values, params) for n in n_values]
+
+
+def find_reference(
+    points: Iterable[ScalingPoint],
+    clusters: Optional[int] = None,
+    alus_per_cluster: Optional[int] = None,
+) -> ScalingPoint:
+    """Locate the normalization point of a sweep (e.g. C=8 or N=5)."""
+    for point in points:
+        if clusters is not None and point.clusters != clusters:
+            continue
+        if (
+            alus_per_cluster is not None
+            and point.alus_per_cluster != alus_per_cluster
+        ):
+            continue
+        return point
+    raise ValueError(
+        f"no sweep point matches C={clusters} N={alus_per_cluster}"
+    )
+
+
+@dataclass(frozen=True)
+class NormalizedPoint:
+    """One figure sample: component stack normalized to a reference total."""
+
+    config: ProcessorConfig
+    srf: float
+    microcontroller: float
+    clusters: float
+    intercluster_switch: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.srf
+            + self.microcontroller
+            + self.clusters
+            + self.intercluster_switch
+        )
+
+
+def normalize_area(
+    points: Sequence[ScalingPoint], reference: ScalingPoint
+) -> List[NormalizedPoint]:
+    """Per-ALU area stack normalized to the reference total (Figs 6, 9, 12)."""
+    ref_total = reference.area_per_alu.total
+    return [
+        NormalizedPoint(
+            config=p.config,
+            srf=p.area_per_alu.srf / ref_total,
+            microcontroller=p.area_per_alu.microcontroller / ref_total,
+            clusters=p.area_per_alu.clusters / ref_total,
+            intercluster_switch=p.area_per_alu.intercluster_switch / ref_total,
+        )
+        for p in points
+    ]
+
+
+def normalize_energy(
+    points: Sequence[ScalingPoint], reference: ScalingPoint
+) -> List[NormalizedPoint]:
+    """Per-ALU-op energy stack normalized to the reference (Figs 7, 10)."""
+    ref_total = reference.energy_per_alu_op.total
+    return [
+        NormalizedPoint(
+            config=p.config,
+            srf=p.energy_per_alu_op.srf / ref_total,
+            microcontroller=p.energy_per_alu_op.microcontroller / ref_total,
+            clusters=p.energy_per_alu_op.clusters / ref_total,
+            intercluster_switch=(
+                p.energy_per_alu_op.intercluster_switch / ref_total
+            ),
+        )
+        for p in points
+    ]

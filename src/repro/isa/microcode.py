@@ -1,0 +1,56 @@
+"""VLIW microcode word model (paper section 3.1.2).
+
+The microcontroller stores kernels as VLIW instructions of
+``I_0 + I_N * N_FU`` bits: ``I_0`` bits sequence the loop, drive
+conditional-stream logic, hold immediates and interface with the SRF;
+``I_N`` bits per functional unit encode its operation, its two LRF reads,
+its LRF write, and its intracluster-switch crosspoint setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import ProcessorConfig
+
+
+@dataclass(frozen=True)
+class MicrocodeFootprint:
+    """Microcode storage consumed by one compiled kernel."""
+
+    instructions: int
+    word_bits: float
+
+    @property
+    def total_bits(self) -> float:
+        return self.instructions * self.word_bits
+
+
+def instruction_word_bits(config: ProcessorConfig) -> float:
+    """Width of one VLIW instruction for this configuration (bits)."""
+    return config.vliw_width_bits
+
+
+def kernel_footprint(
+    config: ProcessorConfig, instructions: int
+) -> MicrocodeFootprint:
+    """Microcode footprint of a kernel with ``instructions`` VLIW words."""
+    if instructions < 1:
+        raise ValueError("a kernel has at least one instruction")
+    return MicrocodeFootprint(
+        instructions=instructions,
+        word_bits=instruction_word_bits(config),
+    )
+
+
+def storage_utilization(
+    config: ProcessorConfig, footprints: list[MicrocodeFootprint]
+) -> float:
+    """Fraction of the ``r_uc``-instruction microcode store in use.
+
+    The paper sizes the store at ``r_uc = 2048`` VLIW instructions for the
+    resident kernels of a typical application; the simulator charges a
+    reload when an application's working set exceeds it.
+    """
+    used = sum(fp.instructions for fp in footprints)
+    return used / config.params.r_uc

@@ -1,0 +1,138 @@
+"""Operation set and functional-unit classes for kernel programs.
+
+Kernels (the paper's KernelC) compile to VLIW instructions whose slots are
+filled by operations on four kinds of cluster resources:
+
+* **ALU** — the arithmetic units being scaled (``N`` per cluster),
+* **SP** — the scratchpad unit (indexed in-cluster addressing),
+* **COMM** — the intercluster communication unit,
+* **SB** — external ports to the cluster streambuffers (stream reads and
+  writes; ``P_e`` ports per cluster).
+
+Operation latencies follow the Imagine stream processor's functional-unit
+latencies (paper section 5: "Functional unit latencies were taken from
+latencies in the Imagine stream processor"); communication latencies are
+*not* fixed here — the compiler's machine description derives them from
+the VLSI delay models at each (C, N) point.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FUClass(enum.Enum):
+    """Cluster resource class an operation occupies."""
+
+    ALU = "alu"
+    SP = "sp"
+    COMM = "comm"
+    SB = "sb"
+    #: Pseudo-class for constants/loop-invariants: occupies no issue slot.
+    NONE = "none"
+
+
+class Opcode(enum.Enum):
+    """Kernel operation codes (a superset of what the kernel suite uses)."""
+
+    # Pseudo-ops
+    CONST = ("const", FUClass.NONE, 0)
+    LOOPVAR = ("loopvar", FUClass.NONE, 0)
+
+    # Integer ALU ops (16b/32b media arithmetic)
+    IADD = ("iadd", FUClass.ALU, 2)
+    ISUB = ("isub", FUClass.ALU, 2)
+    IMUL = ("imul", FUClass.ALU, 4)
+    IABS = ("iabs", FUClass.ALU, 1)
+    IMIN = ("imin", FUClass.ALU, 2)
+    IMAX = ("imax", FUClass.ALU, 2)
+    SHIFT = ("shift", FUClass.ALU, 1)
+    LOGIC = ("logic", FUClass.ALU, 1)
+    ICMP = ("icmp", FUClass.ALU, 2)
+    SELECT = ("select", FUClass.ALU, 1)
+
+    # Floating-point ALU ops
+    FADD = ("fadd", FUClass.ALU, 4)
+    FSUB = ("fsub", FUClass.ALU, 4)
+    FMUL = ("fmul", FUClass.ALU, 4)
+    FDIV = ("fdiv", FUClass.ALU, 17)
+    FSQRT = ("fsqrt", FUClass.ALU, 16)
+    FCMP = ("fcmp", FUClass.ALU, 2)
+    FABS = ("fabs", FUClass.ALU, 1)
+    FMIN = ("fmin", FUClass.ALU, 2)
+    FMAX = ("fmax", FUClass.ALU, 2)
+    FFRAC = ("ffrac", FUClass.ALU, 2)
+    FFLOOR = ("ffloor", FUClass.ALU, 2)
+    ITOF = ("itof", FUClass.ALU, 3)
+    FTOI = ("ftoi", FUClass.ALU, 3)
+
+    # Scratchpad (small indexed in-cluster memory)
+    SP_READ = ("sp_read", FUClass.SP, 2)
+    SP_WRITE = ("sp_write", FUClass.SP, 1)
+
+    # Intercluster communication (latency set by the machine description)
+    COMM_PERM = ("comm_perm", FUClass.COMM, 1)
+    COMM_BCAST = ("comm_bcast", FUClass.COMM, 1)
+
+    # Stream (SRF) access through the cluster streambuffers
+    SB_READ = ("sb_read", FUClass.SB, 3)
+    SB_WRITE = ("sb_write", FUClass.SB, 1)
+    #: Conditional-stream variants: data-dependent input/output rates,
+    #: implemented with COMM-routed buffering (paper [7]); they occupy an
+    #: SB port *and* imply intercluster routing handled by the compiler.
+    COND_READ = ("cond_read", FUClass.SB, 3)
+    COND_WRITE = ("cond_write", FUClass.SB, 1)
+
+    def __init__(self, mnemonic: str, fu_class: FUClass, latency: int):
+        self.mnemonic = mnemonic
+        self.fu_class = fu_class
+        self.base_latency = latency
+
+    @property
+    def is_alu(self) -> bool:
+        return self.fu_class is FUClass.ALU
+
+    @property
+    def is_srf_access(self) -> bool:
+        return self.fu_class is FUClass.SB
+
+    @property
+    def is_comm(self) -> bool:
+        return self.fu_class is FUClass.COMM
+
+    @property
+    def is_sp(self) -> bool:
+        return self.fu_class is FUClass.SP
+
+    @property
+    def is_conditional_stream(self) -> bool:
+        return self in (Opcode.COND_READ, Opcode.COND_WRITE)
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """Per-iteration inner-loop operation counts (paper Table 2 rows)."""
+
+    alu_ops: int
+    srf_accesses: int
+    comms: int
+    sp_accesses: int
+
+    def per_alu_op(self, count: int) -> float:
+        """An access count expressed per ALU operation (Table 2 ratios)."""
+        if self.alu_ops == 0:
+            raise ValueError("kernel has no ALU operations")
+        return count / self.alu_ops
+
+    @property
+    def srf_per_alu(self) -> float:
+        return self.per_alu_op(self.srf_accesses)
+
+    @property
+    def comm_per_alu(self) -> float:
+        return self.per_alu_op(self.comms)
+
+    @property
+    def sp_per_alu(self) -> float:
+        return self.per_alu_op(self.sp_accesses)

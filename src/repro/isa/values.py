@@ -1,0 +1,74 @@
+"""Value and stream types shared by the kernel IR and the StreamC layer.
+
+A *stream* is a finite sequence of records; a *record* is a short tuple of
+architectural words (a 21-word triangle, a single-word pixel...).  Kernels
+read input streams, compute, and write output streams (paper section 2.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AccessPattern(enum.Enum):
+    """Memory reference pattern of a stream, with its sustained-bandwidth
+    fraction under memory-access scheduling (Rixner et al., the paper's
+    reference [17]: reordered stream accesses sustain 78-97% of peak;
+    random accesses far less)."""
+
+    SEQUENTIAL = 1.00
+    STRIDED = 0.85
+    INDEXED = 0.40
+
+    @property
+    def efficiency(self) -> float:
+        return self.value
+
+
+class DataType(enum.Enum):
+    """Element datatypes of paper Table 4."""
+
+    INT16 = "16b"
+    INT32 = "32b"
+    FLOAT32 = "FP"
+
+    @property
+    def words(self) -> int:
+        """Architectural words per scalar (the architecture is 32-bit;
+        16-bit data is packed but still moves as words)."""
+        return 1
+
+
+@dataclass(frozen=True)
+class RecordType:
+    """The element type of a stream: ``words`` words of ``dtype`` data."""
+
+    name: str
+    words: int
+    dtype: DataType = DataType.FLOAT32
+
+    def __post_init__(self) -> None:
+        if self.words < 1:
+            raise ValueError("a record holds at least one word")
+
+
+#: Common record shapes from the paper's applications.
+PIXEL = RecordType("pixel", 1, DataType.INT16)
+RGBA_PIXEL = RecordType("rgba", 1, DataType.INT32)
+COMPLEX = RecordType("complex", 2, DataType.FLOAT32)
+TRIANGLE = RecordType("triangle", 21, DataType.FLOAT32)
+FRAGMENT = RecordType("fragment", 4, DataType.FLOAT32)
+MATRIX_COLUMN_BLOCK = RecordType("column_block", 8, DataType.FLOAT32)
+WORD = RecordType("word", 1, DataType.FLOAT32)
+
+
+@dataclass(frozen=True)
+class StreamType:
+    """A stream's record shape (its length is a program-level property)."""
+
+    record: RecordType
+
+    @property
+    def words_per_element(self) -> int:
+        return self.record.words

@@ -1,0 +1,33 @@
+"""The paper's media-processing kernel suite (paper Tables 2 and 4)."""
+
+from .blocksad import build_blocksad
+from .convolve import build_convolve
+from .dct import build_dct
+from .fft import build_fft
+from .irast import build_irast
+from .noise import build_noise
+from .suite import (
+    KERNELS,
+    KernelInfo,
+    PERFORMANCE_SUITE,
+    TABLE2,
+    get_kernel,
+    performance_kernels,
+)
+from .update import build_update
+
+__all__ = [
+    "KERNELS",
+    "KernelInfo",
+    "PERFORMANCE_SUITE",
+    "TABLE2",
+    "build_blocksad",
+    "build_convolve",
+    "build_dct",
+    "build_fft",
+    "build_irast",
+    "build_noise",
+    "build_update",
+    "get_kernel",
+    "performance_kernels",
+]

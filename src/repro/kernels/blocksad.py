@@ -1,0 +1,77 @@
+"""Blocksad: sum-of-absolute-differences kernel (paper Tables 2 and 4).
+
+The workhorse of the DEPTH stereo-depth extractor: for each pixel, the
+kernel accumulates the absolute difference between a reference window and
+a disparity-shifted candidate window, then folds in window columns that
+live in neighboring clusters (intercluster COMMs) and updates the
+best-disparity record kept in the scratchpad.
+
+Inner-loop characteristics (paper Table 2): 59 ALU ops, 28 SRF accesses
+(0.47/op), 10 intercluster comms (0.17/op), 4 scratchpad accesses
+(0.07/op) per iteration.
+"""
+
+from __future__ import annotations
+
+from ..isa.kernel import KernelGraph
+from ..isa.ops import Opcode
+
+#: Window pixels processed per iteration (13 reference + 13 candidate).
+WINDOW = 13
+
+#: Window columns owned by neighboring clusters, fetched over COMM.
+SHARED_COLUMNS = 10
+
+#: Packed pixel words that need unpacking shifts before differencing.
+PACKED = 3
+
+
+def build_blocksad() -> KernelGraph:
+    """Construct the Blocksad inner-loop dataflow graph."""
+    g = KernelGraph("blocksad")
+
+    reference = [g.read("ref") for _ in range(WINDOW)]
+    candidate = [g.read("cand") for _ in range(WINDOW)]
+
+    # The first PACKED words of each window arrive two-pixels-per-word and
+    # need an unpacking shift (16-bit data on a 32-bit datapath).
+    ref_px = [
+        g.op(Opcode.SHIFT, reference[i]) if i < PACKED else reference[i]
+        for i in range(WINDOW)
+    ]
+    cand_px = [
+        g.op(Opcode.SHIFT, candidate[i]) if i < PACKED else candidate[i]
+        for i in range(WINDOW)
+    ]
+
+    diffs = [
+        g.op(Opcode.IABS, g.op(Opcode.ISUB, ref_px[i], cand_px[i]))
+        for i in range(WINDOW)
+    ]
+    local_sum = g.reduce(Opcode.IADD, diffs)
+
+    # Window columns held by the neighboring clusters: exchange the edge
+    # absolute differences and fold them into the local sum.
+    total = local_sum
+    for i in range(SHARED_COLUMNS):
+        shared = g.comm(diffs[i], name=f"edge{i}")
+        total = g.op(Opcode.IADD, total, shared)
+
+    # Best-disparity update: the running (sad, disparity) pair lives in
+    # the scratchpad, indexed by the pixel's position within the strip.
+    index = g.loop_index("pixel")
+    address = g.op(Opcode.IADD, index, g.const(0.0, "sp_base"))
+    best_sad = g.sp_read(address, "best_sad")
+    best_disp = g.sp_read(address, "best_disp")
+    is_better = g.op(Opcode.ICMP, total, best_sad)
+    new_sad = g.op(Opcode.IMIN, total, best_sad)
+    new_disp = g.op(Opcode.SELECT, is_better, best_disp)
+    g.sp_write(address, new_sad)
+    g.sp_write(address, new_disp)
+
+    scaled = g.op(Opcode.SHIFT, total, name="sad_scaled")
+    g.write(scaled, "sad")
+    g.write(new_disp, "disparity")
+
+    g.validate()
+    return g

@@ -1,0 +1,77 @@
+"""Convolve: 7x7 convolution filter kernel (paper Tables 2 and 4).
+
+Implemented in the systolic partial-sums style the Imagine CONV
+application uses: each iteration reads one fresh column of pixels,
+multiplies it against all seven coefficient columns, and folds the
+products into seven partial output sums carried across iterations in the
+LRFs (loop-carried dependences).  The oldest partial sum completes and is
+written out.  Edge pixels owned by neighboring clusters arrive over COMM.
+
+Inner-loop characteristics (paper Table 2): 133 ALU ops, 14 SRF accesses
+(0.11/op), 5 intercluster comms (0.04/op), 2 scratchpad accesses
+(0.02/op) per iteration.
+"""
+
+from __future__ import annotations
+
+from ..isa.kernel import KernelGraph
+from ..isa.ops import Opcode
+
+#: Filter size (7x7 taps).
+TAPS = 7
+
+#: Pixels read per iteration: one column tall enough for the 7-window.
+COLUMN = 13
+
+#: Edge pixels exchanged with neighboring clusters per iteration.
+SHARED = 5
+
+
+def build_convolve() -> KernelGraph:
+    """Construct the Convolve inner-loop dataflow graph."""
+    g = KernelGraph("convolve")
+
+    column = [g.read("pixels") for _ in range(COLUMN)]
+    # 16-bit unpack: shift then mask every pixel word.
+    pixels = [
+        g.op(Opcode.LOGIC, g.op(Opcode.SHIFT, word)) for word in column
+    ]
+
+    # Boundary pixels from the neighboring clusters' columns.
+    for i in range(SHARED):
+        shared = g.comm(pixels[i], name=f"edge{i}")
+        pixels[i] = g.op(Opcode.SELECT, shared, pixels[i])
+
+    coeffs = [
+        [g.const(1.0, f"k{r}{c}") for c in range(TAPS)] for r in range(TAPS)
+    ]
+
+    # Seven partial sums, one per output column this input column touches.
+    # partial[j] continues the value produced for column j+1 in the
+    # previous iteration (a systolic shift through the LRFs).
+    finals = []
+    for j in range(TAPS):
+        products = [
+            g.op(Opcode.IMUL, pixels[r], coeffs[r][j]) for r in range(TAPS)
+        ]
+        acc = g.reduce(Opcode.IADD, products)  # 6 adds
+        combined = g.op(Opcode.IADD, acc, name=f"partial{j}")
+        finals.append(combined)
+    for j in range(TAPS - 1):
+        # partial j consumes last iteration's partial j+1.
+        g.recurrence(finals[j + 1], finals[j], distance=1)
+
+    # The scratchpad holds an adaptive gain, updated with the completed sum.
+    gain = g.sp_read(g.loop_index("col"), "gain")
+    g.sp_write(g.loop_index("col2"), finals[0])
+
+    # Round, scale by the gain, clamp, and pack the completed output.
+    rounded = g.op(Opcode.IADD, finals[0], gain)
+    shifted = g.op(Opcode.SHIFT, rounded)
+    clamped = g.op(
+        Opcode.IMIN, g.op(Opcode.IMAX, shifted, g.const(0.0)), g.const(255.0)
+    )
+    g.write(clamped, "filtered")
+
+    g.validate()
+    return g

@@ -1,0 +1,121 @@
+"""Irast: triangle rasterizer kernel (paper Table 4).
+
+The scan-converting heart of the RENDER application.  Each iteration
+advances one pixel position against the current triangle's three edge
+functions, interpolates depth and shading attributes, and *conditionally*
+emits a fragment — the data-dependent input/output rates that make this
+kernel the paper's showcase for conditional streams ("kernels such as
+Irast, which rely heavily on conditional stream and intercluster switch
+bandwidth", section 5.1).
+
+Conditional streams route data between clusters through the intercluster
+switch, so this kernel is COMM-heavy, and the running output-offset scan
+forms a loop-carried dependence *through* the COMM unit — the one place
+where intercluster latency touches a kernel's initiation interval.
+
+Not listed in paper Table 2; the operation mix is reconstructed from the
+algorithm and the paper's description.
+"""
+
+from __future__ import annotations
+
+from ..isa.kernel import KernelGraph
+from ..isa.ops import Opcode
+
+#: Triangle setup words read (conditionally) when a triangle is consumed.
+SETUP_WORDS = 6
+
+#: Fragment words emitted (conditionally) per covered pixel.
+FRAGMENT_WORDS = 4
+
+#: Data words routed between clusters for conditional-stream compaction.
+ROUTED_WORDS = 16
+
+
+def build_irast() -> KernelGraph:
+    """Construct the triangle-rasterizer inner-loop dataflow graph."""
+    g = KernelGraph("irast")
+
+    # Conditionally read the next triangle's setup (edge equations and
+    # attribute slopes): consumed only when the previous triangle is done.
+    setup = [g.read(f"triangles", conditional=True) for _ in range(SETUP_WORDS)]
+
+    # Unpack the fixed-point setup words.
+    edges = [
+        g.op(Opcode.LOGIC, g.op(Opcode.SHIFT, setup[e])) for e in range(3)
+    ]
+    slopes = [
+        g.op(Opcode.LOGIC, g.op(Opcode.SHIFT, setup[3 + a])) for a in range(3)
+    ]
+
+    # Three edge functions stepped across the scanline: e += dx (the
+    # accumulators are loop-carried through the LRFs).
+    accumulators = []
+    inside_terms = []
+    for e in range(3):
+        step = g.op(Opcode.IADD, edges[e], g.const(1.0, f"dx{e}"))
+        acc = g.op(Opcode.IADD, step, name=f"edge_acc{e}")
+        accumulators.append(acc)
+        inside_terms.append(g.op(Opcode.ICMP, acc, g.const(0.0)))
+    for acc in accumulators:
+        g.recurrence(acc, acc, distance=1)
+    inside = g.op(
+        Opcode.LOGIC, g.op(Opcode.LOGIC, inside_terms[0], inside_terms[1]),
+        inside_terms[2],
+    )
+
+    # Attribute interpolation (z, u, v): base + slope * step, fixed point.
+    attributes = []
+    for a in range(3):
+        scaled = g.op(Opcode.IMUL, slopes[a], accumulators[a])
+        value = g.op(Opcode.IADD, scaled, setup[3 + a])
+        clamped = g.op(
+            Opcode.IMIN, g.op(Opcode.IMAX, value, g.const(0.0)),
+            g.const(65535.0),
+        )
+        attributes.append(g.op(Opcode.SHIFT, clamped))
+
+    # Bounding-box / span control: decide whether this triangle is done.
+    span_count = g.sp_read(g.loop_index("span"), "span_count")
+    advanced = g.op(Opcode.IADD, span_count, g.const(1.0))
+    done = g.op(Opcode.ICMP, advanced, setup[0])
+    g.sp_write(g.loop_index("span2"), advanced)
+    next_select = g.op(Opcode.SELECT, done, advanced)
+
+    # Conditional-stream output offset: each cluster's fragment count is
+    # scanned across clusters so writes land densely in the SRF.  The
+    # running offset is a recurrence through the COMM unit.
+    local_count = g.op(Opcode.SELECT, inside, g.const(1.0))
+    scanned = g.comm(local_count, name="scan")
+    offset = g.op(Opcode.IADD, scanned, name="frag_offset")
+    # The scan consumes last iteration's offset: a recurrence whose cycle
+    # runs through the COMM unit, so II >= comm latency + add latency.
+    g.recurrence(offset, scanned, distance=1)
+
+    # Route fragment words toward their destination clusters (the
+    # conditional-stream compaction traffic).
+    routed = []
+    payload = attributes + [next_select]
+    for k in range(ROUTED_WORDS):
+        word = payload[k % len(payload)]
+        masked = g.op(Opcode.LOGIC, word, g.const(float(k)))
+        routed.append(g.comm(masked, name=f"route{k}"))
+
+    # Assemble and conditionally emit the fragment.
+    color = g.op(
+        Opcode.IADD,
+        g.op(Opcode.SHIFT, routed[0]),
+        g.op(Opcode.LOGIC, routed[1]),
+    )
+    depth = g.op(Opcode.IMAX, routed[2], g.const(0.0))
+    fragment = [
+        g.op(Opcode.IADD, offset, g.const(0.0, "frag_x")),
+        depth,
+        color,
+        g.op(Opcode.SELECT, inside, routed[3]),
+    ]
+    for k in range(FRAGMENT_WORDS):
+        g.write(fragment[k], "fragments", conditional=True)
+
+    g.validate()
+    return g

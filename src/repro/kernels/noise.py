@@ -1,0 +1,92 @@
+"""Noise: Perlin noise kernel for the procedural marble shader (Table 4).
+
+Used by the RENDER application's fragment shading.  Classic 2-D Perlin
+gradient noise: lattice hashing through the scratchpad-resident
+permutation table, gradient dot products, quintic fade interpolation, and
+a marble post-transform.  The kernel is *perfectly data parallel* — no
+intercluster communication at all — which is why the paper singles it out
+as achieving perfect intercluster speedup (section 5.1).
+
+Not listed in paper Table 2; the operation mix is reconstructed from the
+algorithm (about 0.17 scratchpad accesses and no COMMs per ALU op).
+"""
+
+from __future__ import annotations
+
+from ..isa.kernel import KernelGraph
+from ..isa.ops import Opcode
+
+
+def _fade(g: KernelGraph, t):
+    """Quintic fade 6t^5 - 15t^4 + 10t^3 as compiled: 5 mul, 2 add/sub."""
+    t6 = g.op(Opcode.FMUL, t, g.const(6.0))
+    poly = g.op(Opcode.FSUB, t6, g.const(15.0))
+    poly = g.op(Opcode.FMUL, poly, t)
+    poly = g.op(Opcode.FADD, poly, g.const(10.0))
+    t2 = g.op(Opcode.FMUL, t, t)
+    t3 = g.op(Opcode.FMUL, t2, t)
+    return g.op(Opcode.FMUL, poly, t3)
+
+
+def _lerp(g: KernelGraph, a, b, t):
+    """a + t*(b-a): FSUB, FMUL, FADD."""
+    return g.op(
+        Opcode.FADD, a, g.op(Opcode.FMUL, t, g.op(Opcode.FSUB, b, a))
+    )
+
+
+def build_noise() -> KernelGraph:
+    """Construct the Perlin-noise inner-loop dataflow graph."""
+    g = KernelGraph("noise")
+
+    x = g.read("coord_x")
+    y = g.read("coord_y")
+
+    # Lattice cell and fractional position.
+    xf = g.op(Opcode.FFLOOR, x)
+    yf = g.op(Opcode.FFLOOR, y)
+    fx = g.op(Opcode.FSUB, x, xf)
+    fy = g.op(Opcode.FSUB, y, yf)
+    xi = g.op(Opcode.FTOI, xf)
+    yi = g.op(Opcode.FTOI, yf)
+
+    # Hash the four lattice corners through the permutation table and
+    # fetch a gradient per corner (three scratchpad reads per corner).
+    dots = []
+    for dx, dy in ((0, 0), (1, 0), (0, 1), (1, 1)):
+        cx = g.op(Opcode.IADD, xi, g.const(float(dx)))
+        cy = g.op(Opcode.IADD, yi, g.const(float(dy)))
+        h1 = g.sp_read(cx, f"perm{dx}{dy}a")
+        mixed = g.op(Opcode.IADD, h1, cy)
+        h2 = g.sp_read(mixed, f"perm{dx}{dy}b")
+        gindex = g.op(Opcode.LOGIC, h2)
+        grad = g.sp_read(gindex, f"grad{dx}{dy}")
+        # Offset vector to the corner and the gradient dot product.
+        ox = g.op(Opcode.FSUB, fx, g.const(float(dx)))
+        oy = g.op(Opcode.FSUB, fy, g.const(float(dy)))
+        dot = g.op(
+            Opcode.FADD,
+            g.op(Opcode.FMUL, grad, ox),
+            g.op(Opcode.FMUL, grad, oy),
+        )
+        dots.append(dot)
+
+    u = _fade(g, fx)
+    v = _fade(g, fy)
+    bottom = _lerp(g, dots[0], dots[1], u)
+    top = _lerp(g, dots[2], dots[3], u)
+    value = _lerp(g, bottom, top, v)
+
+    # Marble post-transform: |noise| folded through a sine polynomial.
+    folded = g.op(Opcode.FABS, value)
+    s2 = g.op(Opcode.FMUL, folded, folded)
+    sine = g.op(Opcode.FSUB, folded, g.op(Opcode.FMUL, s2, folded))
+    sine = g.op(Opcode.FADD, sine, g.const(1.0))
+    shade = g.op(Opcode.FMUL, sine, g.const(0.5))
+    clamped = g.op(
+        Opcode.FMIN, g.op(Opcode.FMAX, shade, g.const(0.0)), g.const(1.0)
+    )
+    g.write(clamped, "shade")
+
+    g.validate()
+    return g

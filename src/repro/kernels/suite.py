@@ -1,0 +1,124 @@
+"""The kernel suite: registry, Table 2 expectations, and accessors.
+
+The paper evaluates six kernels (Blocksad, Convolve, Update, FFT, Noise,
+Irast — Figure 13/14 and Table 5) and characterizes five inner loops in
+Table 2 (Blocksad, Convolve, Update, FFT, DCT).  This module registers
+all seven and records the published Table 2 counts so tests can assert
+that our reconstructions match the paper exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..isa.kernel import KernelGraph
+from ..isa.ops import OpCounts
+from ..isa.values import DataType
+from .blocksad import build_blocksad
+from .convolve import build_convolve
+from .dct import build_dct
+from .fft import build_fft
+from .irast import build_irast
+from .noise import build_noise
+from .update import build_update
+
+
+@dataclass(frozen=True)
+class KernelInfo:
+    """Registry entry for one kernel."""
+
+    name: str
+    builder: Callable[[], KernelGraph]
+    dtype: DataType
+    description: str
+    #: Paper Table 2 inner-loop counts, when published.
+    table2: Optional[OpCounts] = None
+
+
+#: Paper Table 2, verbatim.
+TABLE2 = {
+    "blocksad": OpCounts(alu_ops=59, srf_accesses=28, comms=10, sp_accesses=4),
+    "convolve": OpCounts(alu_ops=133, srf_accesses=14, comms=5, sp_accesses=2),
+    "update": OpCounts(alu_ops=61, srf_accesses=4, comms=16, sp_accesses=32),
+    "fft": OpCounts(alu_ops=145, srf_accesses=64, comms=40, sp_accesses=72),
+    "dct": OpCounts(alu_ops=150, srf_accesses=16, comms=7, sp_accesses=32),
+}
+
+KERNELS: Dict[str, KernelInfo] = {
+    info.name: info
+    for info in (
+        KernelInfo(
+            "blocksad",
+            build_blocksad,
+            DataType.INT16,
+            "Sum-of-absolute-differences kernel for image processing",
+            TABLE2["blocksad"],
+        ),
+        KernelInfo(
+            "convolve",
+            build_convolve,
+            DataType.INT16,
+            "Convolution filter for image processing",
+            TABLE2["convolve"],
+        ),
+        KernelInfo(
+            "update",
+            build_update,
+            DataType.FLOAT32,
+            "Matrix block update for QRD",
+            TABLE2["update"],
+        ),
+        KernelInfo(
+            "fft",
+            build_fft,
+            DataType.FLOAT32,
+            "Radix-4 fast Fourier transform",
+            TABLE2["fft"],
+        ),
+        KernelInfo(
+            "dct",
+            build_dct,
+            DataType.INT16,
+            "8x8 discrete cosine transform",
+            TABLE2["dct"],
+        ),
+        KernelInfo(
+            "noise",
+            build_noise,
+            DataType.FLOAT32,
+            "Perlin noise function used in procedural marble shader",
+        ),
+        KernelInfo(
+            "irast",
+            build_irast,
+            DataType.INT16,
+            "Triangle rasterizer",
+        ),
+    )
+}
+
+#: The six kernels of the Figure 13/14 and Table 5 performance studies.
+PERFORMANCE_SUITE = ("blocksad", "convolve", "update", "fft", "noise", "irast")
+
+_INSTANCES: Dict[str, KernelGraph] = {}
+
+
+def get_kernel(name: str) -> KernelGraph:
+    """Return the (memoized) kernel graph for ``name``.
+
+    Graphs are immutable once built; memoization lets the compilation
+    cache key on graph identity.
+    """
+    if name not in KERNELS:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {sorted(KERNELS)}"
+        )
+    if name not in _INSTANCES:
+        _INSTANCES[name] = KERNELS[name].builder()
+    return _INSTANCES[name]
+
+
+def performance_kernels() -> List[KernelGraph]:
+    """The six kernels of the paper's performance evaluation, in order."""
+    return [get_kernel(name) for name in PERFORMANCE_SUITE]

@@ -1,0 +1,30 @@
+"""Stream-processor application simulator (the C++ simulator substitute)."""
+
+from .cluster import ClusterArray, KernelRun
+from .events import EventQueue
+from .host import Host
+from .memory import AccessPattern, MemorySystem, Transfer
+from .metrics import BandwidthReport, OpRecord, SimulationResult
+from .partitioned import PartitionedRun, simulate_partitioned
+from .processor import StreamProcessor, simulate
+from .srf import CapacityError, Eviction, SRFAllocator
+
+__all__ = [
+    "AccessPattern",
+    "BandwidthReport",
+    "CapacityError",
+    "ClusterArray",
+    "EventQueue",
+    "Eviction",
+    "Host",
+    "KernelRun",
+    "MemorySystem",
+    "OpRecord",
+    "PartitionedRun",
+    "SRFAllocator",
+    "SimulationResult",
+    "StreamProcessor",
+    "Transfer",
+    "simulate",
+    "simulate_partitioned",
+]

@@ -1,0 +1,106 @@
+"""SIMD cluster-array timing model.
+
+Kernel invocation cost follows paper section 5.3's inventory of
+short-stream overheads: dispatching through the microcontroller, filling
+the cluster pipelines, software-pipeline priming (the schedule-length
+pass of the compiled kernel), the steady-state initiation intervals, and
+the drain.  Microcode residency is tracked against the ``r_uc``
+instruction store; evicted kernels pay a reload before execution.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..compiler.pipeline import KernelSchedule
+from ..core.config import ProcessorConfig
+
+#: Fixed dispatch cost per kernel invocation: the stream controller hands
+#: the call to the microcontroller and the cluster pipeline fills.
+DISPATCH_CYCLES = 16
+
+#: Microcode store reload rate: VLIW words written per cycle from the SRF.
+UCODE_WORDS_PER_CYCLE = 1
+
+
+@dataclass(frozen=True)
+class KernelRun:
+    """Timing of one kernel invocation."""
+
+    start: int
+    finish: int
+    iterations: int
+    ucode_reload_cycles: int
+
+    @property
+    def cycles(self) -> int:
+        return self.finish - self.start
+
+
+class ClusterArray:
+    """The C SIMD clusters plus microcontroller, as one serial resource."""
+
+    def __init__(self, config: ProcessorConfig):
+        self.config = config
+        self.ucode_capacity = int(config.params.r_uc)
+        self._resident: "OrderedDict[str, int]" = OrderedDict()
+        self._free_at = 0
+        self.busy_cycles = 0
+        self.ucode_reloads = 0
+
+    @property
+    def free_at(self) -> int:
+        return self._free_at
+
+    def _ucode_reload(self, schedule: KernelSchedule) -> int:
+        """Cycles to make the kernel's microcode resident (0 if cached)."""
+        name = schedule.kernel_name
+        words = schedule.instruction_count
+        if name in self._resident:
+            self._resident.move_to_end(name)
+            return 0
+        while (
+            self._resident
+            and sum(self._resident.values()) + words > self.ucode_capacity
+        ):
+            self._resident.popitem(last=False)
+        self._resident[name] = words
+        self.ucode_reloads += 1
+        return math.ceil(words / UCODE_WORDS_PER_CYCLE)
+
+    def run(
+        self, schedule: KernelSchedule, work_items: int, earliest: int
+    ) -> KernelRun:
+        """Execute one kernel call; returns its timing.
+
+        ``work_items`` inner-loop iterations are spread across the ``C``
+        clusters SIMD-fashion: each cluster runs ``ceil(work_items / C)``
+        iterations (idle lanes on the ragged last batch are the
+        short-stream waste).
+        """
+        if work_items < 1:
+            raise ValueError("kernel call needs at least one work item")
+        iterations = -(-work_items // self.config.clusters)
+        reload_cycles = self._ucode_reload(schedule)
+        duration = (
+            DISPATCH_CYCLES
+            + reload_cycles
+            + schedule.inner_loop_cycles(iterations)
+        )
+        start = max(earliest, self._free_at)
+        finish = start + duration
+        self._free_at = finish
+        self.busy_cycles += duration
+        return KernelRun(
+            start=start,
+            finish=finish,
+            iterations=iterations,
+            ucode_reload_cycles=reload_cycles,
+        )
+
+    def utilization(self, total_cycles: int) -> float:
+        if total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / total_cycles)

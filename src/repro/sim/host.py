@@ -1,0 +1,54 @@
+"""Host processor and stream controller (paper Figure 2, section 5).
+
+The stream processor runs as a coprocessor: a 1 GHz host issues stream
+instructions (loads, stores, kernel invocations) over a 2 GB/s channel,
+and the stream controller holds a scoreboard of outstanding instructions.
+As stream lengths shrink relative to ``C``, each kernel call does less
+work and "host processor bandwidth begin[s] to affect performance"
+(section 5.3) — the model makes that explicit: instruction delivery takes
+channel cycles, so no more than one stream operation can *start* per
+``cycles_per_instruction``, and the stream-controller scoreboard bounds
+how far the host runs ahead of completion (enforced by the processor,
+which owns completion times).
+"""
+
+from __future__ import annotations
+
+from ..core.params import TECH_45NM, TechnologyNode
+
+#: Bytes of one stream instruction (descriptor: opcode, stream base /
+#: length / stride registers, kernel microcode handle...).
+STREAM_INSTRUCTION_BYTES = 64
+
+#: Outstanding stream instructions the stream controller scoreboard holds.
+SCOREBOARD_DEPTH = 16
+
+
+class Host:
+    """Serial stream-instruction channel from the host processor."""
+
+    def __init__(
+        self,
+        node: TechnologyNode = TECH_45NM,
+        clock_ghz: float = 1.0,
+        scoreboard_depth: int = SCOREBOARD_DEPTH,
+    ):
+        if scoreboard_depth < 1:
+            raise ValueError("scoreboard needs at least one entry")
+        bytes_per_cycle = node.host_bw_gbps / clock_ghz
+        self.cycles_per_instruction = max(
+            1, int(round(STREAM_INSTRUCTION_BYTES / bytes_per_cycle))
+        )
+        self.scoreboard_depth = scoreboard_depth
+        self._channel_free = 0
+
+    def issue(self, earliest: int) -> int:
+        """Deliver one stream instruction; returns its arrival cycle."""
+        start = max(earliest, self._channel_free)
+        done = start + self.cycles_per_instruction
+        self._channel_free = done
+        return done
+
+    @property
+    def channel_free(self) -> int:
+        return self._channel_free

@@ -1,0 +1,98 @@
+"""Streaming memory system (paper sections 2.2 and 5).
+
+The 2007-era machine the paper simulates provides 16 GB/s of external
+memory bandwidth over eight Rambus channels at a 1 GHz processor clock —
+4 words per cycle — with a ``T = 55``-cycle access latency.  Stream loads
+and stores are large sequential transfers, so the model is a shared
+bandwidth pipe: transfers queue for bandwidth, and data lands in the SRF
+a latency after its slot in the pipe.
+
+Memory-access scheduling (Rixner et al., the paper's reference [17]) is
+what makes the *peak* bandwidth sustainable for stream access patterns;
+:class:`AccessPattern` captures its residual efficiency: unit-stride
+streams sustain the full pinned rate, strided record accesses lose some
+row-buffer locality even after reordering, and indexed (gather/scatter)
+streams pay close to a row activation per access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import ProcessorConfig
+from ..core.params import TECH_45NM, TechnologyNode
+from ..isa.values import AccessPattern
+
+__all__ = ["AccessPattern", "MemorySystem", "Transfer"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """A scheduled memory transfer."""
+
+    words: int
+    start: int
+    #: Cycle at which the last word has moved through the pipe.
+    bandwidth_done: int
+    #: Cycle at which the data is usable (latency included).
+    data_ready: int
+
+
+class MemorySystem:
+    """Shared-bandwidth, fixed-latency streaming memory model."""
+
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        node: TechnologyNode = TECH_45NM,
+        clock_ghz: float = 1.0,
+    ):
+        if clock_ghz <= 0:
+            raise ValueError("clock must be positive")
+        word_bytes = config.params.b / 8.0
+        bytes_per_cycle = node.memory_bw_gbps / clock_ghz
+        self.words_per_cycle = bytes_per_cycle / word_bytes
+        if self.words_per_cycle <= 0:
+            raise ValueError("memory bandwidth must be positive")
+        self.latency = int(config.params.t_mem)
+        self._free_at = 0
+        self.busy_cycles = 0
+        self.words_transferred = 0
+
+    def transfer(
+        self,
+        words: int,
+        earliest: int,
+        pattern: AccessPattern = AccessPattern.SEQUENTIAL,
+    ) -> Transfer:
+        """Schedule a ``words``-word transfer no earlier than ``earliest``.
+
+        ``pattern`` derates the sustained bandwidth per the
+        memory-access-scheduling model (sequential streams run at peak).
+        """
+        if words < 0:
+            raise ValueError("transfer size cannot be negative")
+        start = max(earliest, self._free_at)
+        effective = self.words_per_cycle * pattern.efficiency
+        service = int(round(words / effective))
+        bandwidth_done = start + service
+        self._free_at = bandwidth_done
+        self.busy_cycles += service
+        self.words_transferred += words
+        return Transfer(
+            words=words,
+            start=start,
+            bandwidth_done=bandwidth_done,
+            data_ready=bandwidth_done + self.latency,
+        )
+
+    @property
+    def free_at(self) -> int:
+        """Cycle at which the bandwidth pipe next becomes free."""
+        return self._free_at
+
+    def utilization(self, total_cycles: int) -> float:
+        """Fraction of cycles the memory pipe moved data."""
+        if total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / total_cycles)

@@ -1,0 +1,130 @@
+"""Simulation results and performance accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..core.config import ProcessorConfig
+
+
+@dataclass(frozen=True)
+class BandwidthReport:
+    """Words moved per tier of the register hierarchy during one run.
+
+    The paper's section 2.2 argument in measurable form: stream
+    processors work because the traffic pyramid is steep — LRF words
+    dwarf SRF words dwarf memory words ("over 90% local ... <= 1% of
+    bandwidth to access memory").
+    """
+
+    lrf_words: int
+    srf_words: int
+    memory_words: int
+
+    @property
+    def total_words(self) -> int:
+        return self.lrf_words + self.srf_words + self.memory_words
+
+    @property
+    def locality_fraction(self) -> float:
+        """Fraction of all data movement kept on chip."""
+        if self.total_words == 0:
+            return 1.0
+        return (self.lrf_words + self.srf_words) / self.total_words
+
+    @property
+    def memory_fraction(self) -> float:
+        """Fraction of all data movement served by external memory."""
+        if self.total_words == 0:
+            return 0.0
+        return self.memory_words / self.total_words
+
+    def gbps(self, cycles: int, clock_ghz: float = 1.0,
+             word_bytes: int = 4) -> Tuple[float, float, float]:
+        """The three tiers as sustained GB/s (LRF, SRF, memory)."""
+        if cycles <= 0:
+            return (0.0, 0.0, 0.0)
+        seconds = cycles / (clock_ghz * 1e9)
+        scale = word_bytes / seconds / 1e9
+        return (
+            self.lrf_words * scale,
+            self.srf_words * scale,
+            self.memory_words * scale,
+        )
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """Timeline entry for one executed stream operation."""
+
+    index: int
+    kind: str
+    label: str
+    start: int
+    finish: int
+
+    @property
+    def cycles(self) -> int:
+        return self.finish - self.start
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of running one stream program on one configuration."""
+
+    program: str
+    config: ProcessorConfig
+    clock_ghz: float
+    cycles: int
+    useful_alu_ops: int
+    records: Tuple[OpRecord, ...]
+    spill_words: int
+    reload_words: int
+    memory_busy_cycles: int
+    cluster_busy_cycles: int
+    ucode_reloads: int
+    bandwidth: BandwidthReport = field(
+        default_factory=lambda: BandwidthReport(0, 0, 0)
+    )
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / (self.clock_ghz * 1e9)
+
+    @property
+    def gops(self) -> float:
+        """Sustained useful GOPS (the paper's Figure 15 annotations)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.useful_alu_ops * self.clock_ghz / self.cycles
+
+    @property
+    def peak_gops(self) -> float:
+        return self.config.total_alus * self.clock_ghz
+
+    @property
+    def alu_utilization(self) -> float:
+        """Fraction of peak arithmetic actually sustained."""
+        return self.gops / self.peak_gops
+
+    @property
+    def memory_utilization(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return min(1.0, self.memory_busy_cycles / self.cycles)
+
+    @property
+    def cluster_utilization(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return min(1.0, self.cluster_busy_cycles / self.cycles)
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Wall-clock speedup versus a baseline run of the same program."""
+        if baseline.program != self.program:
+            raise ValueError(
+                "speedup comparisons require the same program "
+                f"({baseline.program} vs {self.program})"
+            )
+        return baseline.seconds / self.seconds

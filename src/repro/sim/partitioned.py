@@ -1,0 +1,182 @@
+"""Simulated multi-processor dies (paper section 6, beyond the model).
+
+:mod:`repro.core.multiprocessor` bounds the kernel-pipeline organization
+analytically; this module *simulates* it.  A stream program is
+partitioned by kernel: each of ``M`` smaller processors (``C/M``
+clusters each) owns a subset of the program's kernels and executes every
+call of those kernels, with streams that cross a partition boundary
+spilled to and reloaded from memory (partitions share the memory system
+but not an SRF).
+
+The result quantifies the section 6 comparison with all the simulator's
+effects included — per-call overheads shrink on the smaller machines
+(shorter intercluster wires) while every producer-consumer edge that
+used to ride the SRF now pays memory bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..apps.streamc import KernelCall, LoadOp, StoreOp, Stream, StreamProgram
+from ..core.config import ProcessorConfig
+from ..core.params import TECH_45NM, TechnologyNode
+from .processor import StreamProcessor
+
+
+@dataclass(frozen=True)
+class PartitionedRun:
+    """Outcome of one program on an M-processor die."""
+
+    processors: int
+    #: Wall-clock of each partition running its kernel subset.
+    stage_cycles: Tuple[int, ...]
+    #: Words crossing partition boundaries (through memory).
+    glue_words: int
+    #: Pipeline fill factor applied to the bottleneck stage.
+    batches: int
+
+    @property
+    def bottleneck_cycles(self) -> int:
+        return max(self.stage_cycles) if self.stage_cycles else 0
+
+    @property
+    def cycles(self) -> int:
+        """Pipelined makespan: the bottleneck stage paces the pipeline,
+        plus a fill of one bottleneck-batch per upstream stage."""
+        if not self.stage_cycles or self.batches == 0:
+            return 0
+        per_batch = self.bottleneck_cycles / self.batches
+        fill = per_batch * (self.processors - 1)
+        return int(self.bottleneck_cycles + fill)
+
+
+def _assign_stages(
+    program: StreamProgram, processors: int
+) -> Dict[str, int]:
+    """Round-robin kernels (by name, in first-appearance order) to
+    partitions — "simultaneously executing different kernels of one
+    stream program"."""
+    assignment: Dict[str, int] = {}
+    for call in program.kernel_calls():
+        if call.kernel.name not in assignment:
+            assignment[call.kernel.name] = len(assignment) % processors
+    return assignment
+
+
+def _build_partition(
+    program: StreamProgram, assignment: Dict[str, int], partition: int
+) -> Tuple[StreamProgram, int]:
+    """One partition's sub-program, with memory glue for foreign streams.
+
+    Returns the sub-program and the number of cross-partition words it
+    must push back to memory (its outputs consumed elsewhere).
+    """
+    sub = StreamProgram(f"{program.name}@p{partition}")
+    produced_here: Dict[Stream, Stream] = {}
+    mirrored: Dict[Stream, Stream] = {}
+    last_use = program.last_use()
+    glue_out = 0
+
+    def local_input(stream: Stream) -> Stream:
+        if stream in produced_here:
+            return produced_here[stream]
+        if stream not in mirrored:
+            # Produced by a load, a preloaded input, or another
+            # partition: arrives from memory either way.
+            mirror = sub.stream(
+                stream.name,
+                elements=stream.elements,
+                record_words=stream.record_words,
+                in_memory=True,
+                pattern=stream.pattern,
+            )
+            sub.load(mirror)
+            mirrored[stream] = mirror
+        return mirrored[stream]
+
+    for index, op in enumerate(program.ops):
+        if not isinstance(op, KernelCall):
+            continue  # loads/stores are re-derived from the glue
+        if assignment[op.kernel.name] != partition:
+            continue
+        inputs = [local_input(s) for s in op.inputs]
+        outputs = []
+        for s in op.outputs:
+            local = sub.stream(
+                s.name,
+                elements=s.elements,
+                record_words=s.record_words,
+                pattern=s.pattern,
+            )
+            produced_here[s] = local
+            outputs.append(local)
+        sub.kernel(op.kernel, inputs, outputs, op.work_items, op.label)
+        # Outputs that anyone else (another partition, or the original
+        # program's stores) still needs go back to memory.
+        for s, local in [(s, produced_here[s]) for s in op.outputs]:
+            if last_use.get(s, index) > index:
+                consumers_elsewhere = any(
+                    isinstance(later, KernelCall)
+                    and s in later.inputs
+                    and assignment[later.kernel.name] != partition
+                    for later in program.ops[index + 1 :]
+                )
+                stored_later = any(
+                    isinstance(later, StoreOp) and later.stream is s
+                    for later in program.ops[index + 1 :]
+                )
+                if consumers_elsewhere or stored_later:
+                    sub.store(local)
+                    glue_out += s.words
+    return sub, glue_out
+
+
+def simulate_partitioned(
+    program: StreamProgram,
+    config: ProcessorConfig,
+    processors: int,
+    node: TechnologyNode = TECH_45NM,
+    clock_ghz: float = 1.0,
+) -> PartitionedRun:
+    """Run ``program`` as a kernel pipeline over ``processors`` machines.
+
+    ``config`` describes the *whole die*; each partition gets
+    ``C / processors`` clusters.  Raises ``ValueError`` when the die
+    does not split evenly or has fewer kernels than partitions.
+    """
+    if processors < 1:
+        raise ValueError("need at least one processor")
+    if config.clusters % processors:
+        raise ValueError(
+            f"{config.clusters} clusters do not split into "
+            f"{processors} processors"
+        )
+    assignment = _assign_stages(program, processors)
+    if len(assignment) < processors:
+        raise ValueError(
+            f"program has {len(assignment)} kernels; cannot pipeline "
+            f"over {processors} processors"
+        )
+    sub_config = ProcessorConfig(
+        config.clusters // processors,
+        config.alus_per_cluster,
+        config.params,
+    )
+    stage_cycles: List[int] = []
+    glue_words = 0
+    bottleneck_batches = 1
+    for partition in range(processors):
+        sub, glue = _build_partition(program, assignment, partition)
+        glue_words += glue
+        result = StreamProcessor(sub_config, node, clock_ghz).run(sub)
+        stage_cycles.append(result.cycles)
+        if result.cycles == max(stage_cycles):
+            bottleneck_batches = max(1, len(sub.kernel_calls()))
+    return PartitionedRun(
+        processors=processors,
+        stage_cycles=tuple(stage_cycles),
+        glue_words=glue_words,
+        batches=bottleneck_batches,
+    )

@@ -1,0 +1,197 @@
+"""The stream processor: executes StreamC programs end to end.
+
+The simulator dispatches the program's stream operations in order (the
+stream controller issues in order), tracking per-resource timelines so
+that loads and stores overlap kernel execution whenever dependences allow
+— the application-level concurrency of paper section 2.2.  It models
+every effect the paper's section 5.3 analysis names:
+
+* **host bandwidth** — each operation's start is gated by its stream
+  instruction arriving over the 2 GB/s channel,
+* **scoreboard depth** — the host cannot run unboundedly ahead,
+* **memory bandwidth and latency** — the 16 GB/s / 55-cycle pipe,
+* **SRF capacity** — spills and reloads when the working set overflows,
+* **short streams** — per-call dispatch, microcode reloads, software-
+  pipeline priming and drain from the compiled schedule lengths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..apps.streamc import KernelCall, LoadOp, StoreOp, StreamProgram
+from ..compiler.pipeline import compile_kernel
+from ..core.config import ProcessorConfig
+from ..core.params import TECH_45NM, TechnologyNode
+from .cluster import ClusterArray
+from .host import Host
+from .memory import MemorySystem
+from .metrics import BandwidthReport, OpRecord, SimulationResult
+from .srf import SRFAllocator
+
+
+class StreamProcessor:
+    """One simulated stream processor instance (single program runs)."""
+
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        node: TechnologyNode = TECH_45NM,
+        clock_ghz: float = 1.0,
+    ):
+        self.config = config
+        self.node = node
+        self.clock_ghz = clock_ghz
+        self.memory = MemorySystem(config, node, clock_ghz)
+        self.host = Host(node, clock_ghz)
+        self.clusters = ClusterArray(config)
+        self.srf = SRFAllocator(config)
+        self._lrf_words = 0
+        self._srf_words = 0
+
+    def run(self, program: StreamProgram) -> SimulationResult:
+        """Execute ``program`` and return its timing and statistics."""
+        program.validate()
+        ops = program.ops
+        last_use = program.last_use()
+        completion: List[int] = [0] * len(ops)
+        records: List[OpRecord] = []
+
+        # Inputs measured "already in the SRF" occupy space from cycle 0;
+        # dirty because memory holds no copy (eviction must write back).
+        for stream in program.preloaded:
+            self.srf.allocate(stream, -1, dirty=True)
+
+        for i, op in enumerate(ops):
+            # Stream-instruction delivery, gated by the scoreboard.
+            gate = 0
+            if i >= self.host.scoreboard_depth:
+                gate = completion[i - self.host.scoreboard_depth]
+            issued = self.host.issue(gate)
+
+            deps = program.dependencies(i)
+            ready = max((completion[d] for d in deps), default=0)
+            ready = max(ready, issued)
+
+            if isinstance(op, LoadOp):
+                finish = self._run_load(op, i, ready, last_use)
+            elif isinstance(op, StoreOp):
+                finish = self._run_store(op, i, ready)
+            else:
+                finish = self._run_kernel(op, i, ready, last_use)
+            completion[i] = finish
+            records.append(
+                OpRecord(
+                    index=i,
+                    kind=type(op).__name__,
+                    label=op.describe,
+                    start=ready,
+                    finish=finish,
+                )
+            )
+            self._release_dead_streams(op, i, last_use)
+
+        return SimulationResult(
+            program=program.name,
+            config=self.config,
+            clock_ghz=self.clock_ghz,
+            cycles=max(completion, default=0),
+            useful_alu_ops=program.total_alu_ops(),
+            records=tuple(records),
+            spill_words=self.srf.spill_words,
+            reload_words=self.srf.reload_words,
+            memory_busy_cycles=self.memory.busy_cycles,
+            cluster_busy_cycles=self.clusters.busy_cycles,
+            ucode_reloads=self.clusters.ucode_reloads,
+            bandwidth=BandwidthReport(
+                lrf_words=self._lrf_words,
+                # Memory transfers transit the SRF on their way in/out.
+                srf_words=self._srf_words + self.memory.words_transferred,
+                memory_words=self.memory.words_transferred,
+            ),
+        )
+
+    # --- per-op execution -------------------------------------------------
+
+    def _spill(self, evictions, op_index: int, earliest: int, last_use) -> int:
+        """Write back evicted streams that are still needed; returns the
+        cycle by which the SRF space is actually free."""
+        t = earliest
+        for ev in evictions:
+            if ev.writeback and last_use.get(ev.stream, -1) > op_index:
+                t = self.memory.transfer(ev.words, t).bandwidth_done
+        return t
+
+    def _run_load(self, op: LoadOp, i: int, ready: int, last_use) -> int:
+        evictions = self.srf.allocate(op.stream, i, dirty=False)
+        start = self._spill(evictions, i, ready, last_use)
+        return self.memory.transfer(
+            op.stream.words, start, op.stream.pattern
+        ).data_ready
+
+    def _run_store(self, op: StoreOp, i: int, ready: int) -> int:
+        transfer = self.memory.transfer(
+            op.stream.words, ready, op.stream.pattern
+        )
+        return transfer.data_ready
+
+    def _run_kernel(self, op: KernelCall, i: int, ready: int, last_use) -> int:
+        schedule = compile_kernel(op.kernel, self.config)
+        start = ready
+
+        # Bring spilled inputs back from memory.
+        for stream in op.inputs:
+            self.srf.pin(stream)
+        for stream in op.outputs:
+            self.srf.pin(stream)
+        for stream in op.inputs:
+            if not self.srf.is_resident(stream):
+                evictions = self.srf.allocate(stream, i, dirty=False)
+                start = self._spill(evictions, i, start, last_use)
+                start = self.memory.transfer(
+                    stream.words, start, stream.pattern
+                ).data_ready
+                self.srf.note_reload(stream.words)
+
+        # Allocate output streams (may spill idle streams).
+        for stream in op.outputs:
+            evictions = self.srf.allocate(stream, i, dirty=True)
+            start = self._spill(evictions, i, start, last_use)
+
+        run = self.clusters.run(schedule, op.work_items, start)
+
+        # Register-hierarchy traffic accounting (paper section 2.2):
+        # every executed operation reads two LRFs and writes one; every
+        # SRF access moves one word through a streambuffer.
+        stats = op.kernel.stats()
+        ops_per_item = (
+            stats.alu_ops + stats.srf_accesses + stats.comms
+            + stats.sp_accesses
+        )
+        self._lrf_words += 3 * ops_per_item * op.work_items
+        self._srf_words += stats.srf_accesses * op.work_items
+
+        for stream in op.inputs:
+            self.srf.unpin(stream)
+        for stream in op.outputs:
+            self.srf.unpin(stream)
+        return run.finish
+
+    def _release_dead_streams(self, op, i: int, last_use) -> None:
+        if isinstance(op, (LoadOp, StoreOp)):
+            touched = (op.stream,)
+        else:
+            touched = op.inputs + op.outputs
+        for stream in touched:
+            if last_use.get(stream) == i:
+                self.srf.release(stream)
+
+
+def simulate(
+    program: StreamProgram,
+    config: ProcessorConfig,
+    node: TechnologyNode = TECH_45NM,
+    clock_ghz: float = 1.0,
+) -> SimulationResult:
+    """Convenience wrapper: run ``program`` on a fresh processor."""
+    return StreamProcessor(config, node, clock_ghz).run(program)

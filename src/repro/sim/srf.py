@@ -1,0 +1,140 @@
+"""Stream register file allocator with spilling.
+
+The SRF stages every stream an application touches; its capacity is
+``r_m * T * N * C`` words (paper Table 3).  When an application's working
+set exceeds that, streams spill to memory and must be reloaded before the
+kernels that consume them — the fate of FFT4K at small machine sizes
+("its large working set requires spilling from the SRF to memory",
+section 5.3).  Capacity grows with ``N * C``, so the same application
+runs spill-free on large configurations.
+
+Streams are opaque hashable objects exposing a ``words`` attribute (the
+:class:`repro.apps.streamc.Stream` program objects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Set
+
+from ..core.config import ProcessorConfig
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """One stream pushed out of the SRF to make room."""
+
+    stream: Hashable
+    words: int
+    #: True when the evicted data must be written back to memory (it was
+    #: produced on chip, or modified, and is still needed later).
+    writeback: bool
+
+
+class CapacityError(ValueError):
+    """A single working set larger than the entire SRF."""
+
+
+class SRFAllocator:
+    """LRU allocator over the SRF stream storage."""
+
+    def __init__(self, config: ProcessorConfig):
+        self.capacity = int(config.srf_capacity_words)
+        self._resident: Dict[Hashable, int] = {}
+        self._dirty: Set[Hashable] = set()
+        self._pinned: Set[Hashable] = set()
+        self._last_touch: Dict[Hashable, int] = {}
+        self.spill_words = 0
+        self.reload_words = 0
+
+    # --- inspection ------------------------------------------------------
+
+    @property
+    def used(self) -> int:
+        return sum(self._resident.values())
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    def is_resident(self, stream: Hashable) -> bool:
+        return stream in self._resident
+
+    def is_dirty(self, stream: Hashable) -> bool:
+        return stream in self._dirty
+
+    # --- pinning (streams in use by a running operation) -----------------
+
+    def pin(self, stream: Hashable) -> None:
+        self._pinned.add(stream)
+
+    def unpin(self, stream: Hashable) -> None:
+        self._pinned.discard(stream)
+
+    # --- allocation -------------------------------------------------------
+
+    def allocate(
+        self,
+        stream: Hashable,
+        now: int,
+        dirty: bool,
+    ) -> List[Eviction]:
+        """Make ``stream`` resident; returns the evictions that paid for it.
+
+        ``dirty`` marks data produced on chip (a kernel output); if such
+        a stream is evicted, its :class:`Eviction` carries
+        ``writeback=True`` and the caller decides (based on future uses)
+        whether to charge the memory transfer.
+        """
+        self._last_touch[stream] = now
+        if stream in self._resident:
+            if dirty:
+                self._dirty.add(stream)
+            return []
+        words = int(stream.words)
+        if words > self.capacity:
+            raise CapacityError(
+                f"stream {stream!r} ({words} words) exceeds the whole SRF "
+                f"({self.capacity} words); the application must strip-mine"
+            )
+        evictions = self._make_room(words)
+        self._resident[stream] = words
+        if dirty:
+            self._dirty.add(stream)
+        return evictions
+
+    def _make_room(self, words: int) -> List[Eviction]:
+        evictions: List[Eviction] = []
+        while self.free < words:
+            victim = self._choose_victim()
+            evictions.append(self._evict(victim))
+        return evictions
+
+    def _choose_victim(self) -> Hashable:
+        candidates = [
+            s for s in self._resident if s not in self._pinned
+        ]
+        if not candidates:
+            raise CapacityError(
+                "SRF working set of one operation exceeds capacity; "
+                "the application must strip-mine"
+            )
+        return min(candidates, key=lambda s: self._last_touch[s])
+
+    def _evict(self, stream: Hashable) -> Eviction:
+        words = self._resident.pop(stream)
+        writeback = stream in self._dirty
+        self._dirty.discard(stream)
+        if writeback:
+            self.spill_words += words
+        return Eviction(stream=stream, words=words, writeback=writeback)
+
+    def release(self, stream: Hashable) -> None:
+        """Drop a stream that will never be used again (no writeback)."""
+        self._resident.pop(stream, None)
+        self._dirty.discard(stream)
+        self._pinned.discard(stream)
+
+    def note_reload(self, words: int) -> None:
+        """Account a spilled stream being brought back from memory."""
+        self.reload_words += int(words)

@@ -1,0 +1,132 @@
+"""Tests for the cost-figure regenerations (Figures 6-12)."""
+
+import pytest
+
+from repro.analysis.costplots import (
+    figure6_area_intracluster,
+    figure7_energy_intracluster,
+    figure8_delay_intracluster,
+    figure9_area_intercluster,
+    figure10_energy_intercluster,
+    figure11_delay_intercluster,
+    figure12_area_combined,
+)
+
+
+class TestFigure6:
+    def test_normalized_to_n5(self):
+        points = figure6_area_intracluster()
+        at5 = next(p for p in points if p.config.alus_per_cluster == 5)
+        assert at5.total == pytest.approx(1.0)
+
+    def test_n5_is_minimum(self):
+        points = figure6_area_intracluster()
+        best = min(points, key=lambda p: p.total)
+        assert best.config.alus_per_cluster == 5
+
+    def test_small_n_overhead(self):
+        """Paper 4.1: for small N, the I_0 microcode bits and COMM/SP
+        units inflate area per ALU."""
+        points = figure6_area_intracluster()
+        at2 = next(p for p in points if p.config.alus_per_cluster == 2)
+        at5 = next(p for p in points if p.config.alus_per_cluster == 5)
+        assert at2.total > 1.2
+        assert at2.microcontroller > at5.microcontroller
+
+    def test_large_n_switch_growth(self):
+        """By N=128 the cluster stack (dominated by the intracluster
+        switch) roughly doubles area per ALU, as in the figure."""
+        points = figure6_area_intracluster()
+        at128 = next(p for p in points if p.config.alus_per_cluster == 128)
+        assert 1.6 <= at128.total <= 2.4
+
+
+class TestFigure7:
+    def test_energy_minimum_at_n5(self):
+        points = figure7_energy_intracluster()
+        best = min(points, key=lambda p: p.total)
+        assert best.config.alus_per_cluster == 5
+
+    def test_energy_at_n16(self):
+        points = figure7_energy_intracluster()
+        at16 = next(p for p in points if p.config.alus_per_cluster == 16)
+        assert at16.total == pytest.approx(1.23, rel=0.08)
+
+
+class TestFigure8:
+    def test_delays_monotone_in_n(self):
+        points = figure8_delay_intracluster()
+        intra = [p.intracluster_fo4 for p in points]
+        inter = [p.intercluster_fo4 for p in points]
+        assert intra == sorted(intra)
+        assert inter == sorted(inter)
+
+    def test_intercluster_dominates(self):
+        for p in figure8_delay_intracluster():
+            assert p.intercluster_fo4 > p.intracluster_fo4
+
+    def test_figure_scale(self):
+        """The paper's figure tops out near 270 FO4 at N=128."""
+        at128 = figure8_delay_intracluster()[-1]
+        assert 150 <= at128.intercluster_fo4 <= 280
+
+
+class TestFigures9And10:
+    def test_c32_dip(self):
+        points = figure9_area_intercluster()
+        at32 = next(p for p in points if p.config.clusters == 32)
+        assert at32.total < 1.0
+
+    def test_c128_overhead(self):
+        points = figure9_area_intercluster()
+        at128 = next(p for p in points if p.config.clusters == 128)
+        assert at128.total == pytest.approx(1.02, abs=0.03)
+
+    def test_energy_grows_faster_than_area(self):
+        """Paper 4.2: 'energy overhead grows slightly faster than area'."""
+        area = figure9_area_intercluster()
+        energy = figure10_energy_intercluster()
+        a256 = next(p for p in area if p.config.clusters == 256).total
+        e256 = next(p for p in energy if p.config.clusters == 256).total
+        assert e256 > a256
+
+    def test_intercluster_switch_drives_the_growth(self):
+        points = figure9_area_intercluster()
+        first, last = points[0], points[-1]
+        assert last.intercluster_switch > first.intercluster_switch
+
+
+class TestFigure11:
+    def test_intracluster_flat(self):
+        points = figure11_delay_intercluster()
+        values = [p.intracluster_fo4 for p in points]
+        assert max(values) == pytest.approx(min(values))
+
+    def test_intercluster_grows(self):
+        points = figure11_delay_intercluster()
+        values = [p.intercluster_fo4 for p in points]
+        assert values == sorted(values)
+        assert values[-1] > 2.5 * values[0]
+
+
+class TestFigure12:
+    def test_n5_curve_is_best_over_paper_range(self):
+        """Paper 4.3: N=5 then intercluster scaling is the most
+        area-efficient route over C = 8..128."""
+        curves = figure12_area_combined()
+        for (alus2, a2), (alus5, a5), (alus16, a16) in zip(
+            curves[2], curves[5], curves[16]
+        ):
+            if alus5 <= 640:  # C in 8..128 on the N=5 curve
+                assert a5 <= a2 + 1e-9
+                assert a5 <= a16 + 1e-9
+
+    def test_reference_is_c32_n5(self):
+        curves = figure12_area_combined()
+        at_ref = [a for alus, a in curves[5] if alus == 160]
+        assert at_ref and at_ref[0] == pytest.approx(1.0)
+
+    def test_thousands_of_alus_reachable(self):
+        """Figure 12's x-axis reaches ~1000+ ALUs (C=256 x N=5...16)."""
+        curves = figure12_area_combined()
+        assert max(alus for alus, _a in curves[16]) >= 4096

@@ -1,0 +1,159 @@
+"""Tests for the performance regenerations (Figures 13-15, Table 5)."""
+
+import pytest
+
+from repro.analysis.perf import (
+    application_harmonic_speedup,
+    figure13_kernel_speedups,
+    figure14_kernel_speedups,
+    figure15_application_performance,
+    kernel_harmonic_speedup,
+    kernel_rate,
+    table5_performance_per_area,
+)
+from repro.core.config import BASELINE_CONFIG, ProcessorConfig
+
+
+@pytest.fixture(scope="module")
+def fig13():
+    return {s.kernel: dict(
+        (cfg.alus_per_cluster, v) for cfg, v in s.points
+    ) for s in figure13_kernel_speedups()}
+
+
+@pytest.fixture(scope="module")
+def fig14():
+    return {s.kernel: dict(
+        (cfg.clusters, v) for cfg, v in s.points
+    ) for s in figure14_kernel_speedups()}
+
+
+class TestFigure13:
+    def test_baseline_normalization(self, fig13):
+        for kernel, curve in fig13.items():
+            assert curve[5] == pytest.approx(1.0), kernel
+
+    def test_near_linear_to_n10(self, fig13):
+        """Paper 5.1: 'Most kernels have near-linear speedups to N=10'."""
+        for kernel, curve in fig13.items():
+            assert 1.7 <= curve[10] <= 2.05, kernel
+
+    def test_sublinear_at_n14(self, fig13):
+        """Beyond 10 ALUs per cluster, speedups fall off linear (2.8x)."""
+        hm = fig13["harmonic_mean"]
+        assert hm[14] < 2.75
+        assert hm[14] > hm[10]
+
+    def test_n2_around_04(self, fig13):
+        for kernel, curve in fig13.items():
+            assert 0.3 <= curve[2] <= 0.55, kernel
+
+
+class TestFigure14:
+    def test_near_linear_intercluster_scaling(self, fig14):
+        """Paper 5.1: intercluster scaling achieves near-linear speedup
+        to 128 clusters."""
+        hm = fig14["harmonic_mean"]
+        assert hm[128] >= 14.0
+        assert hm[16] == pytest.approx(2.0, rel=0.1)
+
+    def test_noise_is_perfect(self, fig14):
+        """'Some kernels, such as Noise, are perfectly data-parallel and
+        contain perfect speedup.'"""
+        assert fig14["noise"][128] == pytest.approx(16.0, rel=0.01)
+
+    def test_monotone(self, fig14):
+        for kernel, curve in fig14.items():
+            values = [curve[c] for c in (8, 16, 32, 64, 128)]
+            assert values == sorted(values), kernel
+
+
+class TestHeadlineSpeedups:
+    def test_640_alu_kernel_speedup(self):
+        """Paper abstract: 15.3x kernel speedup for C=128/N=5."""
+        speedup = kernel_harmonic_speedup(ProcessorConfig(128, 5))
+        assert speedup == pytest.approx(15.3, rel=0.10)
+
+    def test_1280_alu_kernel_speedup(self):
+        """Paper section 1: 27.9x for C=128/N=10."""
+        speedup = kernel_harmonic_speedup(ProcessorConfig(128, 10))
+        assert speedup == pytest.approx(27.9, rel=0.20)
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return table5_performance_per_area()
+
+    def test_n5_beats_larger_clusters(self, grid):
+        """Table 5: configurations with N > 5 have lower performance per
+        unit area."""
+        for c in (8, 16, 32, 64, 128):
+            assert grid[(c, 5)] > grid[(c, 10)] > grid[(c, 14)]
+
+    def test_flat_across_clusters(self, grid):
+        """'performance per area is relatively unaffected by
+        intercluster scaling' (within ~10% out to C=128)."""
+        for n in (2, 5):
+            row = [grid[(c, n)] for c in (8, 16, 32, 64, 128)]
+            assert max(row) / min(row) < 1.12
+
+    def test_640_alu_machine_within_10pct_of_best(self, grid):
+        """Paper 5.2: the 640-ALU machine is only ~9% worse than the
+        most efficient configuration."""
+        best = max(grid.values())
+        assert grid[(128, 5)] / best > 0.88
+
+    def test_640_alu_raw_speedup_over_smallest(self):
+        """... while providing a raw speedup of ~33x over C=8/N=2."""
+        ratio = sum(
+            kernel_rate(k, ProcessorConfig(128, 5))
+            / kernel_rate(k, ProcessorConfig(8, 2))
+            for k in ("blocksad", "convolve", "update", "fft", "noise",
+                      "irast")
+        ) / 6.0
+        assert ratio == pytest.approx(33.0, rel=0.35)
+
+
+@pytest.mark.slow
+class TestFigure15:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return figure15_application_performance(
+            c_values=(8, 32, 128), n_values=(5, 10)
+        )
+
+    def test_every_bar_present(self, points):
+        assert len(points) == 6 * 3 * 2
+
+    def test_baseline_bar_is_unity(self, points):
+        for p in points:
+            if p.config.clusters == 8 and p.config.alus_per_cluster == 5:
+                assert p.speedup == pytest.approx(1.0, rel=1e-6)
+
+    def test_render_among_the_best_scalers(self, points):
+        big = {
+            p.application: p.speedup
+            for p in points
+            if p.config.clusters == 128 and p.config.alus_per_cluster == 10
+        }
+        assert big["render"] > big["qrd"]
+        assert big["render"] > big["fft1k"]
+        assert big["render"] >= 10.0
+
+    def test_qrd_and_fft1k_scale_poorly(self, points):
+        big = {
+            p.application: p.speedup
+            for p in points
+            if p.config.clusters == 128 and p.config.alus_per_cluster == 10
+        }
+        assert big["qrd"] < 8.0
+        assert big["fft1k"] < 8.0
+
+    def test_application_harmonic_mean(self):
+        """Paper: ~8x at C=128/N=5 and ~10.4x at C=128/N=10 (we accept
+        a wide band: the simulator is ours, not theirs)."""
+        hm_640 = application_harmonic_speedup(ProcessorConfig(128, 5))
+        assert hm_640 == pytest.approx(8.0, rel=0.25)
+        hm_1280 = application_harmonic_speedup(ProcessorConfig(128, 10))
+        assert hm_1280 == pytest.approx(10.4, rel=0.30)

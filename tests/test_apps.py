@@ -1,0 +1,186 @@
+"""Tests for the application suite (paper Table 4 and section 5.3)."""
+
+import pytest
+
+from repro.apps import (
+    APPLICATION_ORDER,
+    APPLICATIONS,
+    all_applications,
+    get_application,
+)
+from repro.apps.qrd import MATRIX, PANEL, build_householder, build_orthogonalize
+from repro.apps.render import build_transform, build_zcompose
+from repro.core.config import BASELINE_CONFIG, ProcessorConfig
+from repro.sim.processor import simulate
+
+
+class TestSuite:
+    def test_the_six_table4_applications(self):
+        assert APPLICATION_ORDER == (
+            "render", "depth", "conv", "qrd", "fft1k", "fft4k"
+        )
+        assert set(APPLICATIONS) == set(APPLICATION_ORDER)
+
+    def test_unknown_application_rejected(self):
+        with pytest.raises(KeyError):
+            get_application("mpeg2")
+
+    @pytest.mark.parametrize("name", APPLICATION_ORDER)
+    def test_programs_validate(self, name):
+        get_application(name).validate()
+
+    def test_all_applications_builds_in_order(self):
+        programs = all_applications()
+        assert [p.name for p in programs] == list(APPLICATION_ORDER)
+
+
+class TestLocalKernels:
+    def test_householder_is_latency_bound(self):
+        g = build_householder()
+        stats = g.stats()
+        # Long chain (sqrt + divide + reduction), little arithmetic.
+        assert g.critical_path() > 2 * stats.alu_ops
+
+    def test_orthogonalize_reduces_across_clusters(self):
+        assert build_orthogonalize().stats().comms == 6
+
+    def test_render_kernels_validate(self):
+        build_transform().validate()
+        build_zcompose().validate()
+
+    def test_zcompose_routes_fragments(self):
+        stats = build_zcompose().stats()
+        assert stats.comms >= 2
+        assert stats.sp_accesses >= 2
+
+
+class TestDatasets:
+    def test_depth_and_conv_are_512x384(self):
+        from repro.apps import conv, depth
+
+        assert conv.IMAGE_WIDTH == 512 and conv.IMAGE_HEIGHT == 384
+        assert depth.IMAGE_WIDTH == 512 and depth.IMAGE_HEIGHT == 384
+
+    def test_qrd_is_256x256(self):
+        assert MATRIX == 256
+        assert MATRIX % PANEL == 0
+
+    def test_fft_sizes(self):
+        fft1k = get_application("fft1k")
+        fft4k = get_application("fft4k")
+        assert any(s.elements == 1024 for s in fft1k.streams)
+        assert any(s.elements == 4096 for s in fft4k.streams)
+
+    def test_ffts_start_in_srf_with_no_stores(self):
+        """Paper: measured with input in the SRF and without simulating
+        the bit-reversed stores."""
+        from repro.apps.streamc import LoadOp, StoreOp
+
+        for name in ("fft1k", "fft4k"):
+            program = get_application(name)
+            assert program.preloaded, name
+            kinds = {type(op) for op in program.ops}
+            assert LoadOp not in kinds
+            assert StoreOp not in kinds
+
+
+class TestSimulatedBehaviour:
+    @pytest.mark.parametrize("name", APPLICATION_ORDER)
+    def test_simulates_at_baseline(self, name):
+        result = simulate(get_application(name), BASELINE_CONFIG)
+        assert result.cycles > 0
+        assert 0 < result.gops < result.peak_gops
+
+    def test_fft4k_spills_only_at_the_baseline(self):
+        """Paper section 5.3: FFT4K's working set spills from the
+        C=8/N=5 SRF; larger machines hold it entirely."""
+        at_base = simulate(get_application("fft4k"), ProcessorConfig(8, 5))
+        at_16 = simulate(get_application("fft4k"), ProcessorConfig(16, 5))
+        assert at_base.spill_words > 0
+        assert at_16.spill_words == 0
+
+    def test_fft1k_never_spills(self):
+        result = simulate(get_application("fft1k"), ProcessorConfig(8, 5))
+        assert result.spill_words == 0
+
+    def test_fft_crossover(self):
+        """FFT4K slower than FFT1K (GOPS) at the baseline, faster on the
+        1280-ALU machine — the paper's capacity/stream-length crossover."""
+        base, big = ProcessorConfig(8, 5), ProcessorConfig(128, 10)
+        fft1k_base = simulate(get_application("fft1k"), base).gops
+        fft4k_base = simulate(get_application("fft4k"), base).gops
+        fft1k_big = simulate(get_application("fft1k"), big).gops
+        fft4k_big = simulate(get_application("fft4k"), big).gops
+        assert fft4k_base < fft1k_base
+        assert fft4k_big > fft1k_big
+
+    def test_qrd_flattens_after_c32(self):
+        """Paper: 'QRD and FFT1K scale poorly for C > 32'."""
+        times = {
+            c: simulate(get_application("qrd"), ProcessorConfig(c, 5)).cycles
+            for c in (8, 32, 128)
+        }
+        to_32 = times[8] / times[32]
+        beyond = times[32] / times[128]
+        assert to_32 > 2.0  # healthy scaling up to 32 clusters
+        assert beyond < 2.0  # poor scaling beyond (4x clusters, <2x)
+
+    def test_render_scales_well(self):
+        """RENDER's streams are long; it keeps scaling to C=128."""
+        t8 = simulate(get_application("render"), ProcessorConfig(8, 5)).cycles
+        t128 = simulate(
+            get_application("render"), ProcessorConfig(128, 5)
+        ).cycles
+        assert t8 / t128 > 8.0
+
+
+class TestIntraclusterAtApplicationLevel:
+    def test_n10_to_n14_buys_little_or_nothing(self):
+        """Paper 5.3: 'little application-level speedup or even
+        slowdowns in some cases when increasing N from 10 to 14'."""
+        gains = []
+        for name in ("qrd", "fft1k", "depth"):
+            at10 = simulate(
+                get_application(name), ProcessorConfig(128, 10)
+            ).seconds
+            at14 = simulate(
+                get_application(name), ProcessorConfig(128, 14)
+            ).seconds
+            gains.append(at10 / at14)
+        # 40% more ALUs never buy even 15% at the application level...
+        assert all(g < 1.15 for g in gains)
+        # ... and at least one application actually slows down.
+        assert any(g < 1.0 for g in gains)
+
+
+class TestDatasetScaling:
+    """Section 5.3's conjecture: datasets scaled with the machine."""
+
+    def test_scale_parameter_grows_the_work(self):
+        from repro.apps import build_conv
+
+        assert (
+            build_conv(scale=4).total_alu_ops()
+            == 4 * build_conv().total_alu_ops()
+        )
+
+    def test_bad_scale_rejected(self):
+        from repro.apps import build_conv, build_depth, build_qrd, build_render
+
+        for builder in (build_conv, build_depth, build_qrd, build_render):
+            with pytest.raises(ValueError):
+                builder(scale=0)
+
+    def test_qrd_conjecture(self):
+        """'If the datasets grew with C, QRD performance would scale':
+        a 4x matrix on the 1280-ALU machine beats the fixed-dataset
+        speedup by a wide margin (work-normalized)."""
+        from repro.apps import build_qrd
+
+        base = simulate(build_qrd(), ProcessorConfig(8, 5))
+        fixed = simulate(build_qrd(), ProcessorConfig(128, 10))
+        scaled = simulate(build_qrd(scale=4), ProcessorConfig(128, 10))
+        fixed_speedup = base.seconds / fixed.seconds
+        work_ratio = scaled.useful_alu_ops / base.useful_alu_ops
+        scaled_speedup = work_ratio * base.seconds / scaled.seconds
+        assert scaled_speedup > 2.0 * fixed_speedup

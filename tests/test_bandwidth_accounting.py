@@ -1,0 +1,59 @@
+"""Tests for per-tier bandwidth accounting (paper section 2.2 claims,
+measured per application run)."""
+
+import pytest
+
+from repro.apps import APPLICATION_ORDER, get_application
+from repro.core.config import BASELINE_CONFIG
+from repro.sim.metrics import BandwidthReport
+from repro.sim.processor import simulate
+
+
+class TestBandwidthReport:
+    def test_fractions(self):
+        report = BandwidthReport(lrf_words=900, srf_words=90,
+                                 memory_words=10)
+        assert report.total_words == 1000
+        assert report.locality_fraction == pytest.approx(0.99)
+        assert report.memory_fraction == pytest.approx(0.01)
+
+    def test_empty_run(self):
+        report = BandwidthReport(0, 0, 0)
+        assert report.locality_fraction == 1.0
+        assert report.memory_fraction == 0.0
+        assert report.gbps(0) == (0.0, 0.0, 0.0)
+
+    def test_gbps_conversion(self):
+        report = BandwidthReport(lrf_words=4_000, srf_words=400,
+                                 memory_words=40)
+        lrf, srf, mem = report.gbps(cycles=1000, clock_ghz=1.0)
+        # 4000 words * 4 bytes over 1 us = 16 GB/s.
+        assert lrf == pytest.approx(16.0)
+        assert srf == pytest.approx(1.6)
+        assert mem == pytest.approx(0.16)
+
+
+class TestPaperClaims:
+    """Section 2.2: 'keeping most data movement (over 90%) local, and
+    requiring only a small fraction (<= 1%) of bandwidth to access
+    memory'."""
+
+    @pytest.mark.parametrize("name", APPLICATION_ORDER)
+    def test_over_90_percent_local(self, name):
+        result = simulate(get_application(name), BASELINE_CONFIG)
+        assert result.bandwidth.locality_fraction > 0.90, name
+
+    @pytest.mark.parametrize("name", ("depth", "conv", "render"))
+    def test_memory_fraction_about_1_percent(self, name):
+        result = simulate(get_application(name), BASELINE_CONFIG)
+        assert result.bandwidth.memory_fraction <= 0.02, name
+
+    def test_tier_pyramid_ordering(self):
+        """LRF >> SRF >> memory, as in Imagine's 326 / 19 / 2.3 GB/s."""
+        result = simulate(get_application("depth"), BASELINE_CONFIG)
+        bw = result.bandwidth
+        assert bw.lrf_words > 5 * bw.srf_words > 5 * bw.memory_words
+
+    def test_fft_runs_entirely_on_chip(self):
+        result = simulate(get_application("fft1k"), BASELINE_CONFIG)
+        assert result.bandwidth.memory_words == 0

@@ -1,0 +1,76 @@
+"""Tests for repro.core.baseline (unified register file comparison)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.baseline import (
+    RegisterFile,
+    compare_unified_vs_stream,
+    unified_cycle_time_fo4,
+)
+from repro.core.config import ProcessorConfig
+
+
+class TestRegisterFile:
+    def test_area_grows_quadratically_with_ports(self):
+        small = RegisterFile(words=64, read_ports=2, write_ports=1)
+        big = RegisterFile(words=64, read_ports=20, write_ports=10)
+        # 10x the ports should cost much more than 10x the area.
+        assert big.area > 20 * small.area
+
+    def test_area_linear_in_capacity(self):
+        one = RegisterFile(words=64, read_ports=2, write_ports=1)
+        two = RegisterFile(words=128, read_ports=2, write_ports=1)
+        assert two.area == pytest.approx(2 * one.area)
+
+    def test_access_energy_grows_with_capacity_and_ports(self):
+        small = RegisterFile(words=64, read_ports=2, write_ports=1)
+        deep = RegisterFile(words=1024, read_ports=2, write_ports=1)
+        wide = RegisterFile(words=64, read_ports=64, write_ports=32)
+        assert deep.access_energy() > small.access_energy()
+        assert wide.access_energy() > small.access_energy()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegisterFile(words=0, read_ports=2, write_ports=1)
+        with pytest.raises(ValueError):
+            RegisterFile(words=8, read_ports=0, write_ports=1)
+
+    @given(
+        st.integers(min_value=1, max_value=4096),
+        st.integers(min_value=1, max_value=128),
+        st.integers(min_value=0, max_value=128),
+    )
+    def test_positive_costs(self, words, reads, writes):
+        rf = RegisterFile(words=words, read_ports=reads, write_ports=writes)
+        assert rf.area > 0
+        assert rf.access_energy() > 0
+        assert rf.access_delay_fo4() > 0
+
+
+class TestOrganizationComparison:
+    """Paper section 3: ~two orders of magnitude (195x area / 430x
+    energy in Rixner et al.) for a 48-ALU unified file vs C=8/N=6."""
+
+    def test_stream_organization_wins_big_on_area(self):
+        cmp = compare_unified_vs_stream()
+        assert cmp.area_ratio > 100.0
+
+    def test_stream_organization_wins_big_on_energy(self):
+        cmp = compare_unified_vs_stream()
+        assert cmp.energy_ratio > 100.0
+
+    def test_default_is_imagine_configuration(self):
+        default = compare_unified_vs_stream()
+        explicit = compare_unified_vs_stream(ProcessorConfig(8, 6))
+        assert default.area_ratio == pytest.approx(explicit.area_ratio)
+
+    def test_unified_file_cannot_cycle_fast(self):
+        """The 144-ported file's access wire delay alone dwarfs a 45-FO4
+        clock cycle — why the unified organization is hopeless."""
+        assert unified_cycle_time_fo4() > 45.0
+
+    def test_ratio_grows_with_alu_count(self):
+        small = compare_unified_vs_stream(ProcessorConfig(4, 6))
+        large = compare_unified_vs_stream(ProcessorConfig(16, 6))
+        assert large.area_ratio > small.area_ratio

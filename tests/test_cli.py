@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCosts:
+    def test_costs_output(self, capsys):
+        assert main(["costs", "-c", "8", "-n", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "C=8 N=5" in out
+        assert "GOPS peak" in out
+        assert "intercluster" in out
+
+
+class TestCompile:
+    def test_compile_kernel(self, capsys):
+        assert main(["compile", "blocksad", "-c", "8", "-n", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "initiation interval 12" in out
+
+    def test_unknown_kernel(self, capsys):
+        assert main(["compile", "nope"]) == 2
+        assert "unknown kernel" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_simulate_application(self, capsys):
+        assert main(["simulate", "fft1k", "-c", "8", "-n", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "GOPS" in out
+        assert "SRF spills" in out
+
+    def test_timeline(self, capsys):
+        assert main(["simulate", "fft1k", "--timeline"]) == 0
+        assert "kernel fft stage 0" in capsys.readouterr().out
+
+    def test_unknown_application(self, capsys):
+        assert main(["simulate", "doom"]) == 2
+        assert "unknown application" in capsys.readouterr().err
+
+
+class TestFigures:
+    def test_single_figure(self, capsys):
+        assert main(["figures", "--only", "fig9"]) == 0
+        assert "Figure 9" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figures", "--only", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_cost_figures_all(self, capsys):
+        assert main(
+            ["figures", "--only", "fig6", "fig7", "fig8", "fig10", "fig11"]
+        ) == 0
+        out = capsys.readouterr().out
+        for fig in ("Figure 6", "Figure 7", "Figure 8", "Figure 10",
+                    "Figure 11"):
+            assert fig in out
+
+
+class TestHeadline:
+    def test_headline_without_apps(self, capsys):
+        assert main(["headline"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel speedup" in out
+        assert "paper 15.3x" in out
+
+
+class TestNewerCommands:
+    def test_floorplan_flag(self, capsys):
+        assert main(["costs", "-c", "8", "-n", "5", "--floorplan"]) == 0
+        out = capsys.readouterr().out
+        assert "floorplan" in out
+        assert "tracks/side" in out
+
+    def test_gantt_flag(self, capsys):
+        assert main(["simulate", "fft1k", "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "legend" in out
+
+    def test_bandwidth_line(self, capsys):
+        assert main(["simulate", "fft1k"]) == 0
+        out = capsys.readouterr().out
+        assert "on-chip" in out
+
+    def test_schedules_report(self, capsys):
+        assert main(["schedules"]) == 0
+        out = capsys.readouterr().out
+        assert "ResMII" in out
+        assert "blocksad" in out
+
+    def test_validate_fast(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "claims reproduced" in out
+
+    def test_export(self, tmp_path, capsys):
+        assert main(["export", "--out", str(tmp_path / "csv")]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 12 CSV files" in out
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            main([])

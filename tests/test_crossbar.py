@@ -1,0 +1,87 @@
+"""Tests for the sparse-crossbar ablation (paper section 6 future work)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import BASELINE_CONFIG, HEADLINE_640, ProcessorConfig
+from repro.core.costs import CostModel
+from repro.core.crossbar import (
+    SparseSwitchModel,
+    breakeven_connectivity,
+    connectivity_sweep,
+    sparse_is_profitable,
+)
+
+
+class TestSparseSwitchModel:
+    def test_full_connectivity_matches_base_model(self):
+        full = SparseSwitchModel(BASELINE_CONFIG, 1.0)
+        base = CostModel(BASELINE_CONFIG)
+        assert full.area_per_alu() == pytest.approx(base.area_per_alu())
+        assert full.energy_per_alu_op() == pytest.approx(
+            base.energy_per_alu_op()
+        )
+        assert full.copy_overhead() == 0.0
+
+    def test_connectivity_bounds(self):
+        with pytest.raises(ValueError):
+            SparseSwitchModel(BASELINE_CONFIG, 0.0)
+        with pytest.raises(ValueError):
+            SparseSwitchModel(BASELINE_CONFIG, 1.5)
+
+    def test_sparser_is_cheaper(self):
+        sweep = connectivity_sweep(HEADLINE_640)
+        areas = [s.area_per_alu for s in sweep]
+        energies = [s.energy_per_alu_op for s in sweep]
+        assert areas == sorted(areas, reverse=True)
+        assert energies == sorted(energies, reverse=True)
+
+    def test_sparser_needs_more_copies(self):
+        sweep = connectivity_sweep(BASELINE_CONFIG)
+        overheads = [s.copy_overhead for s in sweep]
+        assert overheads == sorted(overheads)
+
+    def test_savings_grow_with_machine_size(self):
+        """The paper proposes sparse switches precisely because switch
+        cost grows with scale: halving connectivity saves more on the
+        640-ALU machine than on the baseline."""
+        def saving(config):
+            full = SparseSwitchModel(config, 1.0).summarize()
+            half = SparseSwitchModel(config, 0.5).summarize()
+            return half.area_saving_vs(full)
+
+        assert saving(ProcessorConfig(128, 16)) > saving(BASELINE_CONFIG)
+
+    @given(st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_costs_bounded_by_full_crossbar(self, connectivity):
+        sparse = SparseSwitchModel(HEADLINE_640, connectivity).summarize()
+        full = SparseSwitchModel(HEADLINE_640, 1.0).summarize()
+        assert sparse.area_per_alu <= full.area_per_alu + 1e-9
+        assert sparse.energy_per_alu_op <= full.energy_per_alu_op + 1e-9
+        assert sparse.intracluster_delay <= full.intracluster_delay + 1e-9
+
+
+class TestBreakeven:
+    """Sparse switches pay off exactly where the paper's scaling
+    analysis says switch costs dominate: large clusters, not at N=5."""
+
+    def test_not_profitable_at_the_sweet_spot(self):
+        """At N=5 the switch is too small a share of the energy for
+        sparsening to beat the copy overhead."""
+        assert breakeven_connectivity(HEADLINE_640) == 1.0
+        assert not sparse_is_profitable(HEADLINE_640, 0.5)
+
+    def test_profitable_for_wide_clusters(self):
+        wide = ProcessorConfig(128, 16)
+        k = breakeven_connectivity(wide)
+        assert k < 1.0
+        assert sparse_is_profitable(wide, 0.5)
+
+    def test_breakeven_separates_the_regimes(self):
+        wide = ProcessorConfig(64, 32)
+        k = breakeven_connectivity(wide)
+        assert 0.01 < k < 1.0
+        assert sparse_is_profitable(wide, min(1.0, k * 1.3))
+        if k * 0.5 > 0.01:
+            assert not sparse_is_profitable(wide, k * 0.5)

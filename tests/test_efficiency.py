@@ -1,0 +1,80 @@
+"""Tests for repro.core.efficiency (Table 5 metric and helpers)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.config import BASELINE_CONFIG, ProcessorConfig
+from repro.core.efficiency import (
+    alu_equivalent_area,
+    area_in_alu_equivalents,
+    harmonic_mean,
+    performance_per_area,
+    summarize,
+)
+
+
+class TestHarmonicMean:
+    def test_single_value(self):
+        assert harmonic_mean([4.0]) == pytest.approx(4.0)
+
+    def test_known_value(self):
+        assert harmonic_mean([1.0, 2.0]) == pytest.approx(4.0 / 3.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e6), min_size=1))
+    def test_bounded_by_min_and_max(self, values):
+        hm = harmonic_mean(values)
+        assert min(values) - 1e-9 <= hm <= max(values) + 1e-9
+
+    @given(st.floats(min_value=0.01, max_value=1e6),
+           st.integers(min_value=1, max_value=10))
+    def test_constant_sequence(self, value, count):
+        assert harmonic_mean([value] * count) == pytest.approx(value)
+
+
+class TestPerformancePerArea:
+    def test_unit_definition(self):
+        """A processor with the area of exactly N ALUs sustaining N
+        ops/cycle scores exactly 1.0 (the paper's Table 5 unit)."""
+        config = BASELINE_CONFIG
+        n_units = area_in_alu_equivalents(config)
+        assert performance_per_area(config, n_units) == pytest.approx(1.0)
+
+    def test_alu_equivalent_area_is_bare_datapath(self):
+        p = BASELINE_CONFIG.params
+        assert alu_equivalent_area(BASELINE_CONFIG) == p.w_alu * p.h
+
+    def test_overheads_make_chips_bigger_than_their_alus(self):
+        assert area_in_alu_equivalents(BASELINE_CONFIG) > 40
+
+    def test_rejects_negative_performance(self):
+        with pytest.raises(ValueError):
+            performance_per_area(BASELINE_CONFIG, -1.0)
+
+    def test_scales_linearly_with_performance(self):
+        one = performance_per_area(BASELINE_CONFIG, 10.0)
+        two = performance_per_area(BASELINE_CONFIG, 20.0)
+        assert two == pytest.approx(2 * one)
+
+
+class TestSummarize:
+    def test_peak_gops(self):
+        summary = summarize(ProcessorConfig(128, 10), clock_ghz=1.0)
+        assert summary.peak_gops == pytest.approx(1280.0)
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ValueError):
+            summarize(BASELINE_CONFIG, clock_ghz=0.0)
+
+    def test_peak_efficiency_below_unit(self):
+        """Real processors carry overhead area, so even peak GOPS per
+        area-unit is below 1.0."""
+        summary = summarize(BASELINE_CONFIG)
+        assert 0.0 < summary.peak_gops_per_area < 1.0

@@ -1,0 +1,52 @@
+"""Tests for the CSV export module."""
+
+import csv
+
+import pytest
+
+from repro.analysis.export import export_all
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("csv")
+    paths = export_all(str(directory), include_applications=False)
+    return directory, paths
+
+
+class TestExportAll:
+    def test_twelve_artifacts_without_apps(self, exported):
+        _directory, paths = exported
+        assert len(paths) == 12
+
+    def test_all_files_exist_and_parse(self, exported):
+        _directory, paths = exported
+        for path in paths:
+            with path.open() as handle:
+                rows = list(csv.reader(handle))
+            assert len(rows) >= 2, path.name  # header + data
+            header = rows[0]
+            for row in rows[1:]:
+                assert len(row) == len(header), path.name
+
+    def test_table5_grid_complete(self, exported):
+        directory, _paths = exported
+        with (directory / "table5_perf_per_area.csv").open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 4 * 5  # N x C grid
+
+    def test_figure13_values_round_trip(self, exported):
+        directory, _paths = exported
+        with (directory / "figure13_kernel_speedups.csv").open() as handle:
+            rows = list(csv.DictReader(handle))
+        baseline = [
+            r for r in rows
+            if r["kernel"] == "harmonic_mean" and r["n"] == "5"
+        ]
+        assert len(baseline) == 1
+        assert float(baseline[0]["speedup"]) == pytest.approx(1.0)
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "deep" / "nested"
+        export_all(str(target), include_applications=False)
+        assert target.is_dir()

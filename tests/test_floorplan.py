@@ -1,0 +1,62 @@
+"""Tests for the floorplan geometry extraction and rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.floorplan import (
+    floorplan,
+    render_area_bar,
+    render_floorplan,
+)
+from repro.core.config import BASELINE_CONFIG, HEADLINE_640, ProcessorConfig
+from repro.core.costs import CostModel
+from repro.core.params import TECH_45NM
+
+
+class TestGeometry:
+    def test_chip_side_squares_to_total_area(self):
+        plan = floorplan(BASELINE_CONFIG)
+        total = CostModel(BASELINE_CONFIG).area().total
+        assert plan.chip_side_tracks**2 == pytest.approx(total)
+
+    def test_grid_covers_the_clusters(self):
+        for c in (8, 32, 128):
+            plan = floorplan(ProcessorConfig(c, 5))
+            assert plan.grid_side**2 >= c
+            assert (plan.grid_side - 1) ** 2 < c
+
+    def test_cluster_tiles_fit_in_the_chip(self):
+        plan = floorplan(HEADLINE_640)
+        tiled = plan.grid_side * plan.cluster_side_tracks
+        # Clusters plus SRF banks plus buses must exceed clusters alone.
+        assert plan.chip_side_tracks > 0.7 * tiled
+
+    def test_absolute_dimensions_plausible(self):
+        """The 640-ALU chip comes out around a centimeter at 45 nm."""
+        side_mm = floorplan(HEADLINE_640).chip_side_mm(TECH_45NM)
+        assert 5.0 < side_mm < 20.0
+
+    def test_bus_widths_grow_with_c(self):
+        small = floorplan(ProcessorConfig(8, 5))
+        large = floorplan(ProcessorConfig(128, 5))
+        assert large.intercluster_bus_tracks > (
+            small.intercluster_bus_tracks
+        )
+
+
+class TestRendering:
+    def test_area_bar_shares(self):
+        bar = render_area_bar(BASELINE_CONFIG)
+        assert "clusters" in bar
+        assert "%" in bar
+
+    def test_bar_width_respected(self):
+        bar = render_area_bar(BASELINE_CONFIG, width=40)
+        inside = bar.split("]")[0].lstrip("[")
+        assert len(inside) <= 40
+
+    def test_render_floorplan_mentions_geometry(self):
+        text = render_floorplan(HEADLINE_640)
+        assert "12 x 12 tiles" in text
+        assert "mm at 45 nm" in text

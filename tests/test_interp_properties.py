@@ -1,0 +1,89 @@
+"""Property-based tests for the functional interpreter."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.interp import KernelInterpreter
+from repro.isa.kernel import KernelGraph
+from repro.isa.ops import Opcode
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def linear_kernel(a: float, b: float) -> KernelGraph:
+    """out = a*x + b, per element."""
+    g = KernelGraph("linear")
+    x = g.read("x")
+    g.write(
+        g.op(
+            Opcode.FADD,
+            g.op(Opcode.FMUL, x, g.const(a, "a")),
+            g.const(b, "b"),
+        ),
+        "out",
+    )
+    return g
+
+
+class TestLinearity:
+    @given(
+        finite_floats,
+        finite_floats,
+        st.lists(finite_floats, min_size=4, max_size=32),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_linear_kernel_computes_exactly(self, a, b, xs, clusters):
+        interp = KernelInterpreter(linear_kernel(a, b), clusters=clusters)
+        out = interp.run({"x": xs}).get("out", [])
+        usable = (len(xs) // clusters) * clusters
+        assert len(out) == usable
+        for got, x in zip(out, xs):
+            assert math.isclose(got, a * x + b, rel_tol=1e-12, abs_tol=1e-9)
+
+    @given(
+        st.lists(finite_floats, min_size=8, max_size=64),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_comm_rotation_is_a_permutation(self, xs, clusters):
+        """COMM_PERM never invents or loses values within a batch."""
+        g = KernelGraph("rot")
+        g.write(g.comm(g.read("in")), "out")
+        interp = KernelInterpreter(g, clusters=clusters)
+        out = interp.run({"in": xs}).get("out", [])
+        usable = (len(xs) // clusters) * clusters
+        for i in range(0, usable, clusters):
+            assert sorted(out[i : i + clusters]) == sorted(
+                xs[i : i + clusters]
+            )
+
+    @given(
+        st.lists(finite_floats, min_size=4, max_size=64),
+        st.integers(min_value=1, max_value=6),
+        finite_floats,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_conditional_write_is_an_order_preserving_filter(
+        self, xs, clusters, threshold
+    ):
+        g = KernelGraph("filter")
+        v = g.read("in")
+        keep = g.op(Opcode.FCMP, v, g.const(threshold, "t"))
+        g.write(g.op(Opcode.SELECT, keep, v), "out", conditional=True)
+        interp = KernelInterpreter(g, clusters=clusters)
+        out = interp.run({"in": xs}).get("out", [])
+        usable = (len(xs) // clusters) * clusters
+        expected = [x for x in xs[:usable] if x < threshold]
+        assert out == expected
+
+    @given(st.lists(finite_floats, min_size=4, max_size=32))
+    @settings(max_examples=30, deadline=None)
+    def test_determinism(self, xs):
+        g = linear_kernel(3.0, 1.0)
+        first = KernelInterpreter(g, clusters=2).run({"x": xs})
+        second = KernelInterpreter(g, clusters=2).run({"x": xs})
+        assert first == second

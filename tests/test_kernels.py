@@ -1,0 +1,105 @@
+"""Tests for the kernel suite: Table 2 fidelity and structure."""
+
+import pytest
+
+from repro.isa.ops import Opcode
+from repro.kernels import (
+    KERNELS,
+    PERFORMANCE_SUITE,
+    TABLE2,
+    get_kernel,
+    performance_kernels,
+)
+
+
+class TestTable2Fidelity:
+    """Our kernel reconstructions match paper Table 2 exactly."""
+
+    @pytest.mark.parametrize("name", sorted(TABLE2))
+    def test_counts_match_paper(self, name):
+        assert get_kernel(name).stats() == TABLE2[name]
+
+    def test_table2_values_are_the_published_ones(self):
+        assert TABLE2["blocksad"].alu_ops == 59
+        assert TABLE2["convolve"].alu_ops == 133
+        assert TABLE2["update"].alu_ops == 61
+        assert TABLE2["fft"].alu_ops == 145
+        assert TABLE2["dct"].alu_ops == 150
+        assert TABLE2["fft"].sp_accesses == 72
+        assert TABLE2["update"].comms == 16
+
+
+class TestSuiteStructure:
+    def test_all_seven_kernels_registered(self):
+        assert set(KERNELS) == {
+            "blocksad", "convolve", "update", "fft", "dct", "noise", "irast"
+        }
+
+    def test_performance_suite_is_the_figure13_six(self):
+        assert PERFORMANCE_SUITE == (
+            "blocksad", "convolve", "update", "fft", "noise", "irast"
+        )
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError):
+            get_kernel("mpeg")
+
+    def test_kernels_are_memoized(self):
+        assert get_kernel("fft") is get_kernel("fft")
+
+    def test_all_kernels_validate(self):
+        for name in KERNELS:
+            get_kernel(name).validate()
+
+    def test_performance_kernels_order(self):
+        assert [k.name for k in performance_kernels()] == list(
+            PERFORMANCE_SUITE
+        )
+
+
+class TestKernelStructure:
+    def test_noise_has_no_comms(self):
+        """Noise is perfectly data parallel (paper section 5.1)."""
+        assert get_kernel("noise").stats().comms == 0
+
+    def test_irast_is_comm_heavy(self):
+        """Irast 'relies heavily on conditional stream and intercluster
+        switch bandwidth'."""
+        stats = get_kernel("irast").stats()
+        assert stats.comms / stats.alu_ops > 0.2
+
+    def test_irast_uses_conditional_streams(self):
+        ops = [n.opcode for n in get_kernel("irast").nodes]
+        assert Opcode.COND_READ in ops
+        assert Opcode.COND_WRITE in ops
+
+    def test_irast_has_comm_recurrence(self):
+        """The conditional-stream output offset is a loop-carried
+        dependence through the COMM unit."""
+        g = get_kernel("irast")
+        assert len(g.recurrences) >= 1
+        comm_targets = [
+            rec for rec in g.recurrences
+            if g.nodes[rec.target].opcode.is_comm
+        ]
+        assert comm_targets, "expected a recurrence through the COMM unit"
+
+    def test_convolve_carries_partial_sums(self):
+        """The systolic partial-sum formulation carries 6 values."""
+        assert len(get_kernel("convolve").recurrences) == 6
+
+    def test_update_reduces_across_clusters(self):
+        """Update's dot product is reduced over COMM (0.26 comms/op)."""
+        stats = get_kernel("update").stats()
+        assert stats.comm_per_alu == pytest.approx(0.26, abs=0.01)
+
+    def test_fft_is_scratchpad_bound_structure(self):
+        """FFT does 0.50 SP accesses per ALU op (Table 2)."""
+        stats = get_kernel("fft").stats()
+        assert stats.sp_per_alu == pytest.approx(0.50, abs=0.01)
+
+    def test_every_kernel_reads_and_writes_streams(self):
+        for name in KERNELS:
+            kernel = get_kernel(name)
+            assert kernel.input_streams(), name
+            assert kernel.output_streams(), name

@@ -1,0 +1,108 @@
+"""Tests for repro.compiler.listsched (resource-constrained scheduling)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.listsched import list_schedule
+from repro.compiler.machine import build_machine
+from repro.compiler.unroll import build_sched_graph
+from repro.core.config import ProcessorConfig
+from repro.isa.kernel import KernelGraph
+from repro.isa.ops import FUClass, Opcode
+from repro.kernels import KERNELS, get_kernel
+
+
+@pytest.fixture()
+def machine():
+    return build_machine(ProcessorConfig(8, 5))
+
+
+def check_valid(graph, machine, schedule):
+    """Dependences respected, resources never oversubscribed."""
+    usage = {}
+    for v in range(len(graph)):
+        for u, latency, distance in graph.preds[v]:
+            if distance == 0:
+                assert schedule.start[v] >= schedule.start[u] + latency
+        cls = graph.opcodes[v].fu_class
+        if cls is FUClass.NONE:
+            continue
+        key = (schedule.start[v], cls)
+        usage[key] = usage.get(key, 0) + 1
+        assert usage[key] <= machine.slots(cls)
+
+
+class TestOnKernelSuite:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_schedules_are_valid(self, name, machine):
+        graph = build_sched_graph(get_kernel(name), machine, 1)
+        schedule = list_schedule(graph, machine)
+        check_valid(graph, machine, schedule)
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_length_bounds(self, name, machine):
+        """Length is at least the critical path and at least the
+        resource bound, and no worse than fully serial execution."""
+        kernel = get_kernel(name)
+        graph = build_sched_graph(kernel, machine, 1)
+        schedule = list_schedule(graph, machine)
+        latencies = {op: machine.latency(op) for op in Opcode}
+        assert schedule.length >= kernel.critical_path(latencies)
+        counts = graph.counts_by_class()
+        for cls, count in counts.items():
+            if cls is FUClass.NONE or count == 0:
+                continue
+            assert schedule.length >= count / machine.slots(cls)
+        serial = sum(
+            machine.latency(op) or 1 for op in graph.opcodes
+        )
+        assert schedule.length <= serial
+
+    def test_deterministic(self, machine):
+        graph = build_sched_graph(get_kernel("fft"), machine, 1)
+        first = list_schedule(graph, machine)
+        second = list_schedule(graph, machine)
+        assert first.start == second.start
+
+
+class TestResourceContention:
+    def test_single_alu_serializes(self):
+        g = KernelGraph("wide")
+        reads = [g.read("in") for _ in range(2)]
+        for _ in range(6):
+            g.op(Opcode.SHIFT, reads[0], reads[1])
+        machine = build_machine(ProcessorConfig(8, 1))
+        graph = build_sched_graph(g, machine, 1)
+        schedule = list_schedule(graph, machine)
+        shift_starts = sorted(
+            schedule.start[v]
+            for v in range(len(graph))
+            if graph.opcodes[v] is Opcode.SHIFT
+        )
+        assert len(set(shift_starts)) == 6  # one per cycle
+
+
+@st.composite
+def random_sched_kernels(draw):
+    g = KernelGraph("rand")
+    values = [g.read("in")]
+    for _ in range(draw(st.integers(1, 40))):
+        op = draw(st.sampled_from([
+            Opcode.FADD, Opcode.FMUL, Opcode.IADD, Opcode.COMM_PERM,
+            Opcode.SHIFT,
+        ]))
+        a = values[draw(st.integers(0, len(values) - 1))]
+        values.append(g.op(op, a))
+    g.write(values[-1])
+    return g
+
+
+class TestProperties:
+    @given(random_sched_kernels(), st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_random_graphs_schedule_validly(self, kernel, unroll):
+        machine = build_machine(ProcessorConfig(8, 3))
+        graph = build_sched_graph(kernel, machine, unroll)
+        schedule = list_schedule(graph, machine)
+        check_valid(graph, machine, schedule)
+        assert len(schedule.start) == len(graph)

@@ -1,0 +1,58 @@
+"""Tests for the MPEG extension application."""
+
+import pytest
+
+from repro.apps import EXTRA_APPLICATIONS, get_application
+from repro.apps.mpeg import build_rle
+from repro.core.config import ProcessorConfig
+from repro.isa.interp import KernelInterpreter
+from repro.sim.processor import simulate
+
+
+class TestProgram:
+    def test_registered_as_extra(self):
+        assert "mpeg" in EXTRA_APPLICATIONS
+        program = get_application("mpeg")
+        program.validate()
+
+    def test_uses_the_dct_kernel(self):
+        """The encoder exercises Table 2's DCT kernel, which the
+        paper's six applications never run."""
+        program = get_application("mpeg")
+        kernels = {call.kernel.name for call in program.kernel_calls()}
+        assert "dct" in kernels
+        assert "blocksad" in kernels
+        assert "rle" in kernels
+
+    def test_producer_consumer_locality(self):
+        """Residuals and coefficients flow kernel-to-kernel through the
+        SRF: the only stores are the final token streams."""
+        from repro.apps.streamc import StoreOp
+
+        program = get_application("mpeg")
+        stored = [
+            op.stream.name for op in program.ops
+            if isinstance(op, StoreOp)
+        ]
+        assert all(name.startswith("tokens") for name in stored)
+
+
+class TestSimulation:
+    def test_runs_on_baseline(self):
+        result = simulate(get_application("mpeg"), ProcessorConfig(8, 5))
+        assert result.cycles > 0
+        assert result.gops > 10.0
+
+    def test_scales_with_clusters(self):
+        base = simulate(get_application("mpeg"), ProcessorConfig(8, 5))
+        big = simulate(get_application("mpeg"), ProcessorConfig(128, 10))
+        assert base.seconds / big.seconds > 10.0
+
+
+class TestRleKernel:
+    def test_compacts_zero_coefficients(self):
+        interp = KernelInterpreter(build_rle(), clusters=4)
+        coefficients = [0.0, 5.0, 0.0, 0.0, 3.0, 0.0, 1.0, 0.0]
+        out = interp.run({"coefficients": coefficients})
+        # Only the three nonzero coefficients produce tokens.
+        assert len(out["tokens"]) == 3

@@ -1,0 +1,94 @@
+"""Tests for the multi-processor die organization (paper section 6)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import HEADLINE_640, ProcessorConfig
+from repro.core.multiprocessor import (
+    partition_costs,
+    partition_sweep,
+    pipeline_speedup,
+)
+
+
+class TestPartitionCosts:
+    def test_single_partition_is_the_monolith(self):
+        one = partition_costs(HEADLINE_640, 1)
+        from repro.core.costs import CostModel
+
+        model = CostModel(HEADLINE_640)
+        assert one.area_per_alu == pytest.approx(
+            model.area().total / 640
+        )
+
+    def test_partition_cost_tradeoff(self):
+        """A few partitions trade the C^1.5 intercluster switch for
+        replicated microcontrollers and win slightly on area; many tiny
+        partitions lose the trade as the replication dominates."""
+        sweep = {
+            p.processors: p
+            for p in partition_sweep(HEADLINE_640, (1, 2, 4, 8, 16))
+        }
+        assert sweep[4].area_per_alu < sweep[1].area_per_alu
+        assert sweep[16].area_per_alu > sweep[4].area_per_alu
+
+    def test_partitioning_shortens_intercluster_wires(self):
+        sweep = partition_sweep(HEADLINE_640, (1, 2, 4, 8))
+        delays = [p.intercluster_delay for p in sweep]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_uneven_split_rejected(self):
+        with pytest.raises(ValueError):
+            partition_costs(ProcessorConfig(12, 5), 8)
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValueError):
+            partition_costs(HEADLINE_640, 0)
+
+    def test_total_clusters_preserved(self):
+        for p in partition_sweep(HEADLINE_640, (1, 2, 4)):
+            assert p.total_clusters == 128
+
+
+class TestPipelineSpeedup:
+    def test_single_processor_is_baseline(self):
+        assert pipeline_speedup([1.0, 1.0], 1, 100) == 1.0
+
+    def test_balanced_pipeline_never_beats_simd(self):
+        """M processors each 1/M the size have no throughput advantage
+        on a perfectly data-parallel program — the paper's intuition for
+        preferring one big SIMD machine unless kernels are serialized."""
+        speedup = pipeline_speedup([1.0, 1.0, 1.0, 1.0], 4, 1000)
+        assert speedup <= 1.0 + 1e-9
+
+    def test_imbalanced_pipeline_is_worse(self):
+        balanced = pipeline_speedup([1.0, 1.0], 2, 1000)
+        skewed = pipeline_speedup([1.9, 0.1], 2, 1000)
+        assert skewed < balanced
+
+    def test_fill_cost_hurts_short_runs(self):
+        long = pipeline_speedup([1.0, 1.0], 2, 1000)
+        short = pipeline_speedup([1.0, 1.0], 2, 2)
+        assert short < long
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pipeline_speedup([], 2, 10)
+        with pytest.raises(ValueError):
+            pipeline_speedup([1.0], 0, 10)
+        with pytest.raises(ValueError):
+            pipeline_speedup([1.0], 2, 0)
+        with pytest.raises(ValueError):
+            pipeline_speedup([0.0], 2, 10)
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1,
+                 max_size=8),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_speedup_bounded_by_one(self, weights, processors, batches):
+        """With equal total ALUs, pipelining over M smaller machines can
+        at best tie one big SIMD machine (steady state, balanced)."""
+        assert pipeline_speedup(weights, processors, batches) <= 1.0 + 1e-9

@@ -1,0 +1,65 @@
+"""Tests for the networkx export of kernel graphs."""
+
+import networkx as nx
+import pytest
+
+from repro.isa.kernel import KernelGraph
+from repro.isa.ops import Opcode
+from repro.kernels import KERNELS, get_kernel
+
+
+class TestToNetworkx:
+    def test_node_and_edge_counts(self):
+        kernel = get_kernel("blocksad")
+        graph = kernel.to_networkx()
+        assert graph.number_of_nodes() == len(kernel)
+        data_edges = sum(len(n.operands) for n in kernel.nodes)
+        # Parallel operand edges collapse in a DiGraph; recurrences add.
+        assert graph.number_of_edges() <= data_edges + len(
+            kernel.recurrences
+        )
+
+    def test_attributes(self):
+        g = KernelGraph("attrs")
+        v = g.read("in")
+        g.write(g.op(Opcode.FMUL, v, v))
+        nxg = g.to_networkx()
+        assert nxg.nodes[0]["opcode"] == "sb_read"
+        assert nxg.nodes[1]["fu_class"] == "alu"
+        assert nxg.edges[0, 1]["latency"] == Opcode.SB_READ.base_latency
+
+    def test_dataflow_subgraph_is_a_dag(self):
+        for name in sorted(KERNELS):
+            nxg = get_kernel(name).to_networkx()
+            dataflow = nx.DiGraph(
+                (u, v, d)
+                for u, v, d in nxg.edges(data=True)
+                if d["distance"] == 0
+            )
+            assert nx.is_directed_acyclic_graph(dataflow), name
+
+    def test_critical_path_cross_check(self):
+        """networkx's longest path agrees with KernelGraph.critical_path
+        (when terminal-node latencies are added back)."""
+        kernel = get_kernel("convolve")
+        nxg = kernel.to_networkx()
+        dataflow = nx.DiGraph()
+        dataflow.add_nodes_from(nxg.nodes)
+        dataflow.add_weighted_edges_from(
+            (u, v, d["latency"])
+            for u, v, d in nxg.edges(data=True)
+            if d["distance"] == 0
+        )
+        longest = nx.dag_longest_path(dataflow, weight="weight")
+        path_weight = nx.dag_longest_path_length(dataflow, weight="weight")
+        tail_latency = kernel.nodes[longest[-1]].opcode.base_latency
+        assert path_weight + tail_latency == kernel.critical_path()
+
+    def test_recurrence_edges_marked(self):
+        nxg = get_kernel("convolve").to_networkx()
+        back = [
+            (u, v)
+            for u, v, d in nxg.edges(data=True)
+            if d["distance"] > 0
+        ]
+        assert len(back) == len(get_kernel("convolve").recurrences)

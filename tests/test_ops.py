@@ -1,0 +1,54 @@
+"""Tests for repro.isa.ops (operation set and Table 2 count records)."""
+
+import pytest
+
+from repro.isa.ops import FUClass, OpCounts, Opcode
+
+
+class TestOpcodes:
+    def test_every_opcode_has_class_and_latency(self):
+        for op in Opcode:
+            assert isinstance(op.fu_class, FUClass)
+            assert op.base_latency >= 0
+
+    def test_class_predicates_partition(self):
+        for op in Opcode:
+            flags = [op.is_alu, op.is_srf_access, op.is_comm, op.is_sp]
+            assert sum(flags) <= 1
+
+    def test_imagine_latencies(self):
+        assert Opcode.FADD.base_latency == 4
+        assert Opcode.FMUL.base_latency == 4
+        assert Opcode.FDIV.base_latency == 17
+        assert Opcode.IADD.base_latency == 2
+
+    def test_pseudo_ops_cost_nothing(self):
+        assert Opcode.CONST.base_latency == 0
+        assert Opcode.CONST.fu_class is FUClass.NONE
+        assert Opcode.LOOPVAR.fu_class is FUClass.NONE
+
+    def test_conditional_stream_ops(self):
+        assert Opcode.COND_READ.is_conditional_stream
+        assert Opcode.COND_WRITE.is_conditional_stream
+        assert not Opcode.SB_READ.is_conditional_stream
+        assert Opcode.COND_READ.is_srf_access
+
+    def test_mnemonics_unique(self):
+        mnemonics = [op.mnemonic for op in Opcode]
+        assert len(mnemonics) == len(set(mnemonics))
+
+
+class TestOpCounts:
+    def test_table2_ratios(self):
+        """The parenthesized per-op ratios of paper Table 2."""
+        blocksad = OpCounts(
+            alu_ops=59, srf_accesses=28, comms=10, sp_accesses=4
+        )
+        assert blocksad.srf_per_alu == pytest.approx(0.47, abs=0.01)
+        assert blocksad.comm_per_alu == pytest.approx(0.17, abs=0.01)
+        assert blocksad.sp_per_alu == pytest.approx(0.07, abs=0.01)
+
+    def test_zero_alu_ops_rejected(self):
+        counts = OpCounts(alu_ops=0, srf_accesses=1, comms=0, sp_accesses=0)
+        with pytest.raises(ValueError):
+            counts.srf_per_alu

@@ -1,0 +1,122 @@
+"""Tests for repro.core.params (paper Table 1)."""
+
+import pytest
+
+from repro.core.params import (
+    CUSTOM_PARAMETERS,
+    IMAGINE_PARAMETERS,
+    TECH_45NM,
+    TECH_180NM,
+    MachineParameters,
+    TechnologyNode,
+)
+
+
+class TestTable1Values:
+    """The published Table 1 constants, verbatim."""
+
+    def test_prototype_measurements(self):
+        p = IMAGINE_PARAMETERS
+        assert p.a_sram == 16.1
+        assert p.a_sb == 2161.8
+        assert p.w_alu == 876.9
+        assert p.w_lrf == 437.0
+        assert p.w_sp == 708.9
+        assert p.h == 1400.0
+        assert p.v0 == 1400.0
+        assert p.t_cyc == 45.0
+        assert p.t_mux == 2.0
+
+    def test_energies(self):
+        p = IMAGINE_PARAMETERS
+        assert p.e_w == 1.0
+        assert p.e_alu == 2.0e6
+        assert p.e_sram == 8.7
+        assert p.e_sb == 1936.0
+        assert p.e_lrf == 8.9e5
+        assert p.e_sp == 1.6e6
+
+    def test_architecture_constants(self):
+        p = IMAGINE_PARAMETERS
+        assert p.t_mem == 55.0
+        assert p.b == 32
+
+    def test_empirical_constants(self):
+        p = IMAGINE_PARAMETERS
+        assert p.g_srf == 0.5
+        assert p.g_sb == 0.2
+        assert p.g_comm == 0.2
+        assert p.g_sp == 0.2
+        assert p.i0 == 196.0
+        assert p.i_n == 40.0
+        assert p.l_c == 6.0
+        assert p.l_o == 6.0
+        assert p.l_n == 0.2
+        assert p.r_m == 20.0
+        assert p.r_uc == 2048.0
+
+
+class TestParameterBehaviour:
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            IMAGINE_PARAMETERS.b = 64  # type: ignore[misc]
+
+    def test_replace_returns_new_instance(self):
+        changed = IMAGINE_PARAMETERS.replace(b=64)
+        assert changed.b == 64
+        assert IMAGINE_PARAMETERS.b == 32
+        assert changed is not IMAGINE_PARAMETERS
+
+    def test_validate_accepts_defaults(self):
+        IMAGINE_PARAMETERS.validate()
+
+    @pytest.mark.parametrize(
+        "field", ["a_sram", "w_alu", "h", "v0", "t_cyc", "b", "r_m"]
+    )
+    def test_validate_rejects_nonpositive(self, field):
+        with pytest.raises(ValueError):
+            IMAGINE_PARAMETERS.replace(**{field: 0}).validate()
+
+    @pytest.mark.parametrize("field", ["g_sb", "g_comm", "g_sp", "l_n"])
+    def test_validate_rejects_negative_rates(self, field):
+        with pytest.raises(ValueError):
+            IMAGINE_PARAMETERS.replace(**{field: -0.1}).validate()
+
+    def test_custom_methodology_is_faster_and_smaller(self):
+        assert CUSTOM_PARAMETERS.t_cyc == 20.0
+        assert CUSTOM_PARAMETERS.w_alu < IMAGINE_PARAMETERS.w_alu
+        assert CUSTOM_PARAMETERS.e_alu < IMAGINE_PARAMETERS.e_alu
+
+
+class TestTechnologyNodes:
+    def test_45nm_is_a_1ghz_45fo4_machine(self):
+        # Paper section 5: 45 FO4 at 45 nm is a 1 GHz clock.
+        assert TECH_45NM.clock_ghz(45.0) == pytest.approx(1.0, rel=0.01)
+
+    def test_custom_clock_is_faster(self):
+        assert TECH_45NM.clock_ghz(20.0) > TECH_45NM.clock_ghz(45.0)
+
+    def test_bad_cycle_time_rejected(self):
+        with pytest.raises(ValueError):
+            TECH_45NM.clock_ghz(0)
+
+    def test_paper_bandwidths(self):
+        assert TECH_45NM.memory_bw_gbps == 16.0
+        assert TECH_45NM.host_bw_gbps == 2.0
+        assert TECH_180NM.memory_bw_gbps == 2.3
+
+    def test_area_conversion_scales_with_pitch_squared(self):
+        grids = 1e6
+        ratio = TECH_180NM.grids_to_mm2(grids) / TECH_45NM.grids_to_mm2(grids)
+        assert ratio == pytest.approx(
+            (TECH_180NM.track_um / TECH_45NM.track_um) ** 2
+        )
+
+    def test_wire_energy_constant_field_scaling(self):
+        # E_w shrinks with the cube of the linear dimension.
+        ratio = TECH_45NM.wire_energy_fj / TECH_180NM.wire_energy_fj
+        assert ratio == pytest.approx((45.0 / 180.0) ** 3, rel=1e-6)
+
+    def test_energy_conversion(self):
+        joules = TECH_180NM.energy_to_joules(1.0)
+        assert joules == pytest.approx(0.093e-15)

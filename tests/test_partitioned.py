@@ -1,0 +1,59 @@
+"""Tests for the simulated multi-processor die (section 6)."""
+
+import pytest
+
+from repro.apps import get_application
+from repro.core.config import ProcessorConfig
+from repro.sim.partitioned import simulate_partitioned
+from repro.sim.processor import simulate
+
+
+@pytest.fixture(scope="module")
+def die():
+    return ProcessorConfig(128, 5)
+
+
+class TestValidation:
+    def test_uneven_split_rejected(self, die):
+        with pytest.raises(ValueError):
+            simulate_partitioned(get_application("render"), die, 3)
+
+    def test_more_processors_than_kernels_rejected(self, die):
+        # CONV has one kernel: it cannot pipeline at all.
+        with pytest.raises(ValueError):
+            simulate_partitioned(get_application("conv"), die, 2)
+
+    def test_zero_processors_rejected(self, die):
+        with pytest.raises(ValueError):
+            simulate_partitioned(get_application("render"), die, 0)
+
+
+class TestPipelineBehaviour:
+    def test_stage_per_partition(self, die):
+        run = simulate_partitioned(get_application("render"), die, 4)
+        assert run.processors == 4
+        assert len(run.stage_cycles) == 4
+        assert run.cycles >= run.bottleneck_cycles
+
+    def test_glue_traffic_counted(self, die):
+        """Cross-partition producer-consumer edges go through memory."""
+        run = simulate_partitioned(get_application("render"), die, 2)
+        assert run.glue_words > 0
+
+    def test_monolithic_simd_machine_wins(self, die):
+        """The section 6 comparison, simulated: for these data-parallel
+        programs, one C-cluster machine beats M smaller machines
+        pipelining kernels — partitioning forfeits the SRF's
+        producer-consumer locality."""
+        for app in ("render", "mpeg"):
+            mono = simulate(get_application(app), die)
+            pipe = simulate_partitioned(get_application(app), die, 2)
+            assert pipe.cycles > mono.cycles, app
+
+    def test_glue_explains_the_loss(self, die):
+        """The pipeline's deficit is at least the glue traffic's
+        bandwidth cost."""
+        mono = simulate(get_application("render"), die)
+        pipe = simulate_partitioned(get_application("render"), die, 2)
+        glue_cycles = pipe.glue_words / 4.0  # 4 words/cycle at 16 GB/s
+        assert pipe.cycles - mono.cycles > 0.5 * glue_cycles

@@ -1,0 +1,46 @@
+"""Tests for per-run power estimation."""
+
+import pytest
+
+from repro.analysis.power import estimate_power
+from repro.apps import get_application
+from repro.core.config import BASELINE_CONFIG, HEADLINE_1280
+from repro.core.params import TECH_45NM, TECH_180NM
+from repro.sim.processor import simulate
+
+
+@pytest.fixture(scope="module")
+def depth_big():
+    return simulate(get_application("depth"), HEADLINE_1280)
+
+
+class TestEstimatePower:
+    def test_average_below_peak(self, depth_big):
+        estimate = estimate_power(depth_big)
+        assert 0 < estimate.average_power_watts < (
+            estimate.peak_power_watts
+        )
+        assert 0 < estimate.power_fraction < 1.0
+
+    def test_1280_alu_machine_runs_apps_under_10w(self, depth_big):
+        """The conclusion's power claim at *sustained* application
+        activity: DEPTH at 30% utilization draws a few watts."""
+        estimate = estimate_power(depth_big)
+        assert estimate.average_power_watts < 10.0
+
+    def test_efficiency_tens_of_gops_per_watt(self, depth_big):
+        estimate = estimate_power(depth_big)
+        assert estimate.gops_per_watt > 50.0
+
+    def test_energy_scales_with_work(self):
+        small = simulate(get_application("fft1k"), BASELINE_CONFIG)
+        large = simulate(get_application("fft4k"), BASELINE_CONFIG)
+        e_small = estimate_power(small).energy_joules
+        e_large = estimate_power(large).energy_joules
+        ratio = large.useful_alu_ops / small.useful_alu_ops
+        assert e_large / e_small == pytest.approx(ratio, rel=1e-6)
+
+    def test_older_node_burns_more(self, depth_big):
+        modern = estimate_power(depth_big, TECH_45NM)
+        ancient = estimate_power(depth_big, TECH_180NM)
+        assert ancient.energy_joules > 10 * modern.energy_joules

@@ -1,0 +1,99 @@
+"""Tests for repro.compiler.pressure (register-pressure model)."""
+
+import pytest
+
+from repro.compiler.machine import build_machine
+from repro.compiler.modulo import resource_mii, try_modulo_schedule
+from repro.compiler.pressure import live_per_class, max_live
+from repro.compiler.unroll import build_sched_graph
+from repro.core.config import ProcessorConfig
+from repro.isa.kernel import KernelGraph
+from repro.isa.ops import FUClass, Opcode
+from repro.kernels import get_kernel
+
+
+@pytest.fixture()
+def machine():
+    return build_machine(ProcessorConfig(8, 5))
+
+
+def chain_graph(machine, length=3):
+    g = KernelGraph("chain")
+    v = g.read("in")
+    for _ in range(length):
+        v = g.op(Opcode.SHIFT, v)
+    g.write(v)
+    return build_sched_graph(g, machine, 1)
+
+
+class TestMaxLive:
+    def test_rejects_bad_ii(self, machine):
+        graph = chain_graph(machine)
+        with pytest.raises(ValueError):
+            max_live(graph, {}, 0)
+
+    def test_serial_chain_at_big_ii(self, machine):
+        """With II much larger than the chain, at most a couple of
+        values are live in any modulo slot."""
+        graph = chain_graph(machine)
+        schedule = try_modulo_schedule(graph, machine, 50)
+        assert schedule is not None
+        assert max_live(graph, schedule.start, 50) <= 2
+
+    def test_pressure_grows_as_ii_shrinks(self, machine):
+        """The same kernel pipelined harder needs more registers."""
+        graph = build_sched_graph(get_kernel("fft"), machine, 1)
+        mii = resource_mii(graph, machine)
+        tight = try_modulo_schedule(graph, machine, mii)
+        loose = try_modulo_schedule(graph, machine, 3 * mii)
+        assert tight is not None and loose is not None
+        assert (
+            max_live(graph, tight.start, tight.ii)
+            > max_live(graph, loose.start, loose.ii)
+        )
+
+    def test_consumer_duplication(self, machine):
+        """DRF organization: one register per distinct consumer."""
+        g = KernelGraph("fanout")
+        a = g.read("in")
+        consumers = [g.op(Opcode.SHIFT, a) for _ in range(4)]
+        g.write(consumers[-1])
+        graph = build_sched_graph(g, machine, 1)
+        # Schedule all four consumers at the same earliest cycle.
+        schedule = try_modulo_schedule(graph, machine, 12)
+        assert schedule is not None
+        single = KernelGraph("single")
+        b = single.read("in")
+        single.write(single.op(Opcode.SHIFT, b))
+        sgraph = build_sched_graph(single, machine, 1)
+        sschedule = try_modulo_schedule(sgraph, machine, 12)
+        assert sschedule is not None
+        assert (
+            max_live(graph, schedule.start, 12)
+            > max_live(sgraph, sschedule.start, 12)
+        )
+
+    def test_wraparound_counts_multiple_occupancy(self, machine):
+        """A value living longer than II occupies slots more than once."""
+        g = KernelGraph("longlive")
+        a = g.read("in")
+        v = a
+        for _ in range(10):
+            v = g.op(Opcode.FMUL, v, a)  # `a` stays live the whole chain
+        g.write(v)
+        graph = build_sched_graph(g, machine, 1)
+        schedule = try_modulo_schedule(graph, machine, 2)
+        if schedule is None:
+            pytest.skip("tight II infeasible on this machine")
+        assert max_live(graph, schedule.start, 2) > 10
+
+
+class TestLivePerClass:
+    def test_classes_partition_pressure(self, machine):
+        graph = build_sched_graph(get_kernel("update"), machine, 1)
+        schedule = try_modulo_schedule(graph, machine, 20)
+        assert schedule is not None
+        per_class = live_per_class(graph, schedule.start, 20)
+        total = max_live(graph, schedule.start, 20)
+        assert sum(per_class.values()) >= total
+        assert per_class[FUClass.NONE] == 0

@@ -1,0 +1,83 @@
+"""Tests for repro.core.scaling (the Figure 6-12 sweep machinery)."""
+
+import pytest
+
+from repro.core.config import ProcessorConfig
+from repro.core.scaling import (
+    COMBINED_N_VALUES,
+    INTERCLUSTER_C_VALUES,
+    INTRACLUSTER_N_VALUES,
+    combined_sweep,
+    evaluate_point,
+    find_reference,
+    intercluster_sweep,
+    intracluster_sweep,
+    normalize_area,
+    normalize_energy,
+)
+
+
+class TestSweeps:
+    def test_intracluster_sweep_covers_requested_points(self):
+        points = intracluster_sweep(8, (2, 5, 10))
+        assert [p.alus_per_cluster for p in points] == [2, 5, 10]
+        assert all(p.clusters == 8 for p in points)
+
+    def test_intercluster_sweep_covers_requested_points(self):
+        points = intercluster_sweep(5, (8, 64))
+        assert [p.clusters for p in points] == [8, 64]
+        assert all(p.alus_per_cluster == 5 for p in points)
+
+    def test_default_ranges_match_paper_figures(self):
+        assert 5 in INTRACLUSTER_N_VALUES
+        assert 128 in INTRACLUSTER_N_VALUES
+        assert INTERCLUSTER_C_VALUES == (8, 16, 32, 64, 128, 256)
+        assert COMBINED_N_VALUES == (2, 5, 16)
+
+    def test_combined_sweep_shape(self):
+        grid = combined_sweep(n_values=(2, 5), c_values=(8, 16))
+        assert len(grid) == 2
+        assert all(len(row) == 2 for row in grid)
+
+    def test_evaluate_point_consistency(self):
+        config = ProcessorConfig(8, 5)
+        point = evaluate_point(config)
+        assert point.total_alus == 40
+        assert point.area_per_alu.total > 0
+        assert point.delay.intercluster > 0
+
+
+class TestNormalization:
+    def test_find_reference_by_n(self):
+        points = intracluster_sweep(8, (2, 5, 10))
+        ref = find_reference(points, alus_per_cluster=5)
+        assert ref.alus_per_cluster == 5
+
+    def test_find_reference_missing_raises(self):
+        points = intracluster_sweep(8, (2, 5))
+        with pytest.raises(ValueError):
+            find_reference(points, alus_per_cluster=7)
+
+    def test_normalized_reference_totals_one(self):
+        points = intracluster_sweep(8, (2, 5, 10))
+        ref = find_reference(points, alus_per_cluster=5)
+        normalized = normalize_area(points, ref)
+        at_ref = [
+            p for p in normalized if p.config.alus_per_cluster == 5
+        ][0]
+        assert at_ref.total == pytest.approx(1.0)
+
+    def test_normalized_energy_reference_totals_one(self):
+        points = intercluster_sweep(5, (8, 32))
+        ref = find_reference(points, clusters=8)
+        normalized = normalize_energy(points, ref)
+        assert normalized[0].total == pytest.approx(1.0)
+
+    def test_components_nonnegative(self):
+        points = intracluster_sweep(8, INTRACLUSTER_N_VALUES)
+        ref = find_reference(points, alus_per_cluster=5)
+        for p in normalize_area(points, ref):
+            assert p.srf >= 0
+            assert p.microcontroller >= 0
+            assert p.clusters > 0
+            assert p.intercluster_switch >= 0

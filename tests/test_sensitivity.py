@@ -1,0 +1,69 @@
+"""Tests for the cluster-size-optimum sensitivity analysis."""
+
+import pytest
+
+from repro.core.params import IMAGINE_PARAMETERS
+from repro.core.sensitivity import (
+    SENSITIVE_PARAMETERS,
+    optimal_cluster_size,
+    parameter_sensitivity,
+    sensitivity_report,
+)
+
+
+class TestBaselineOptimum:
+    def test_paper_rule_n5(self):
+        """The Table 1 parameters make N=5 optimal for both metrics —
+        the paper's section 4.3 design rule."""
+        assert optimal_cluster_size(metric="area") == 5
+        assert optimal_cluster_size(metric="energy") == 5
+
+    def test_bad_metric_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_cluster_size(metric="delay")
+
+    def test_rule_is_robust_to_2x_parameter_errors(self):
+        """Doubling or halving any single headline parameter keeps the
+        area optimum in the 4-8 neighbourhood: the paper's rule does
+        not hinge on measurement precision."""
+        for name in SENSITIVE_PARAMETERS:
+            for multiplier in (0.5, 2.0):
+                points = parameter_sensitivity(
+                    name, multipliers=(multiplier,)
+                )
+                assert 4 <= points[0].optimal_n_area <= 8, (
+                    name, multiplier
+                )
+
+
+class TestDirections:
+    @pytest.mark.parametrize(
+        "name,direction", sorted(SENSITIVE_PARAMETERS.items())
+    )
+    def test_4x_scaling_moves_the_optimum_as_documented(
+        self, name, direction
+    ):
+        points = {
+            p.multiplier: p.optimal_n_area
+            for p in parameter_sensitivity(
+                name, multipliers=(0.25, 1.0, 4.0)
+            )
+        }
+        if direction == "up":
+            assert points[4.0] >= points[1.0]
+            assert points[0.25] <= points[1.0]
+            assert points[4.0] > points[0.25]
+        else:
+            assert points[4.0] <= points[1.0]
+            assert points[0.25] >= points[1.0]
+            assert points[4.0] < points[0.25]
+
+
+class TestReport:
+    def test_report_covers_sensitive_parameters(self):
+        report = sensitivity_report()
+        assert set(report) == set(SENSITIVE_PARAMETERS)
+        for points in report.values():
+            assert len(points) == 5
+            baseline = [p for p in points if p.multiplier == 1.0]
+            assert baseline[0].optimal_n_area == 5

@@ -1,0 +1,130 @@
+"""Tests for repro.apps.streamc (the StreamC program model)."""
+
+import pytest
+
+from repro.apps.streamc import (
+    KernelCall,
+    LoadOp,
+    Location,
+    StoreOp,
+    Stream,
+    StreamProgram,
+)
+from repro.kernels import get_kernel
+
+
+def simple_program():
+    p = StreamProgram("simple")
+    raw = p.stream("raw", elements=800, in_memory=True)
+    out = p.stream("out", elements=800)
+    p.load(raw)
+    p.kernel(get_kernel("noise"), [raw], [out], work_items=800)
+    p.store(out)
+    return p, raw, out
+
+
+class TestStream:
+    def test_words(self):
+        s = Stream("s", elements=100, record_words=21)
+        assert s.words == 2100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Stream("s", elements=0)
+        with pytest.raises(ValueError):
+            Stream("s", elements=1, record_words=0)
+
+    def test_identity_semantics(self):
+        a = Stream("same", 10)
+        b = Stream("same", 10)
+        assert a != b
+        assert len({a, b}) == 2
+
+
+class TestProgramConstruction:
+    def test_simple_program_shape(self):
+        p, raw, out = simple_program()
+        assert len(p.ops) == 3
+        assert isinstance(p.ops[0], LoadOp)
+        assert isinstance(p.ops[1], KernelCall)
+        assert isinstance(p.ops[2], StoreOp)
+        p.validate()
+
+    def test_load_requires_memory_stream(self):
+        p = StreamProgram("t")
+        s = p.stream("srf_only", elements=10)
+        with pytest.raises(ValueError):
+            p.load(s)
+
+    def test_store_requires_produced_stream(self):
+        p = StreamProgram("t")
+        s = p.stream("raw", elements=10, in_memory=True)
+        with pytest.raises(ValueError):
+            p.store(s)
+
+    def test_consume_before_produce_rejected(self):
+        p = StreamProgram("t")
+        s = p.stream("ghost", elements=10)
+        out = p.stream("out", elements=10)
+        with pytest.raises(ValueError):
+            p.kernel(get_kernel("noise"), [s], [out], work_items=10)
+
+    def test_single_assignment_enforced(self):
+        p = StreamProgram("t")
+        raw = p.stream("raw", elements=10, in_memory=True)
+        p.load(raw)
+        with pytest.raises(ValueError):
+            p.load(raw)
+
+    def test_kernel_output_single_assignment(self):
+        p = StreamProgram("t")
+        raw = p.stream("raw", elements=10, in_memory=True)
+        out = p.stream("out", elements=10)
+        p.load(raw)
+        p.kernel(get_kernel("noise"), [raw], [out], work_items=10)
+        with pytest.raises(ValueError):
+            p.kernel(get_kernel("noise"), [raw], [out], work_items=10)
+
+    def test_zero_work_rejected(self):
+        p = StreamProgram("t")
+        raw = p.stream("raw", elements=10, in_memory=True)
+        p.load(raw)
+        with pytest.raises(ValueError):
+            p.kernel(get_kernel("noise"), [raw], [], work_items=0)
+
+
+class TestProgramAnalysis:
+    def test_dependencies(self):
+        p, raw, out = simple_program()
+        assert p.dependencies(0) == []
+        assert p.dependencies(1) == [0]
+        assert p.dependencies(2) == [1]
+
+    def test_preloaded_streams_impose_no_dependence(self):
+        p = StreamProgram("fft")
+        data = p.input_in_srf("data", elements=64)
+        out = p.stream("out", elements=64)
+        p.kernel(get_kernel("noise"), [data], [out], work_items=64)
+        assert p.dependencies(0) == []
+        assert data in p.preloaded
+
+    def test_last_use(self):
+        p, raw, out = simple_program()
+        last = p.last_use()
+        assert last[raw] == 1
+        assert last[out] == 2
+
+    def test_total_alu_ops(self):
+        p, _raw, _out = simple_program()
+        noise_ops = get_kernel("noise").stats().alu_ops
+        assert p.total_alu_ops() == 800 * noise_ops
+
+    def test_memory_words(self):
+        p, raw, out = simple_program()
+        assert p.memory_words() == raw.words + out.words
+
+    def test_kernel_calls(self):
+        p, _raw, _out = simple_program()
+        calls = p.kernel_calls()
+        assert len(calls) == 1
+        assert calls[0].describe.startswith("kernel")

@@ -1,0 +1,127 @@
+"""Tests for table regeneration and ASCII rendering."""
+
+import pytest
+
+from repro.analysis.costplots import (
+    figure6_area_intracluster,
+    figure8_delay_intracluster,
+)
+from repro.analysis.perf import (
+    figure13_kernel_speedups,
+    table5_performance_per_area,
+)
+from repro.analysis.report import (
+    format_table,
+    render_delay_figure,
+    render_grid,
+    render_speedup_figure,
+    render_stack_figure,
+)
+from repro.analysis.tables import (
+    table1_parameters,
+    table2_kernel_characteristics,
+    table3_cost_rows,
+    table4_suite,
+)
+from repro.core.config import BASELINE_CONFIG
+from repro.isa.microcode import (
+    instruction_word_bits,
+    kernel_footprint,
+    storage_utilization,
+)
+
+
+class TestTable1:
+    def test_all_28_parameters_present(self):
+        rows = table1_parameters()
+        assert len(rows) == 28
+        symbols = [symbol for symbol, _v, _d in rows]
+        assert symbols[0] == "A_SRAM"
+        assert "r_uc" in symbols
+
+    def test_values_match_parameter_set(self):
+        rows = dict(
+            (symbol, value) for symbol, value, _d in table1_parameters()
+        )
+        assert rows["A_SRAM"] == 16.1
+        assert rows["r_uc"] == 2048.0
+
+
+class TestTable2:
+    def test_every_row_matches(self):
+        for name, row in table2_kernel_characteristics().items():
+            assert row["measured"] == row["paper"], name
+
+
+class TestTable3:
+    def test_rows_present_and_positive(self):
+        rows = table3_cost_rows(BASELINE_CONFIG)
+        for key in ("A_SRF", "A_UC", "A_CLST", "A_COMM", "A_TOT",
+                    "t_intra", "t_inter", "E_SRF", "E_UC", "E_CLST",
+                    "E_TOT", "N_FU"):
+            assert rows[key] > 0, key
+
+    def test_totals_exceed_components(self):
+        rows = table3_cost_rows(BASELINE_CONFIG)
+        assert rows["A_TOT"] > rows["A_UC"] + rows["A_COMM"]
+        assert rows["A_CLST"] > rows["A_SW"]
+
+
+class TestTable4:
+    def test_suite_listing(self):
+        rows = table4_suite()
+        kernels = [r for r in rows if r.kind == "kernel"]
+        apps = [r for r in rows if r.kind == "application"]
+        assert len(kernels) == 7
+        assert len(apps) == 6
+        assert any("bowling pin" in r.description for r in apps)
+
+
+class TestMicrocode:
+    def test_instruction_width(self):
+        assert instruction_word_bits(BASELINE_CONFIG) == 476.0
+
+    def test_footprint(self):
+        fp = kernel_footprint(BASELINE_CONFIG, instructions=100)
+        assert fp.total_bits == pytest.approx(47_600.0)
+
+    def test_footprint_validation(self):
+        with pytest.raises(ValueError):
+            kernel_footprint(BASELINE_CONFIG, instructions=0)
+
+    def test_storage_utilization(self):
+        fps = [kernel_footprint(BASELINE_CONFIG, 512) for _ in range(2)]
+        assert storage_utilization(BASELINE_CONFIG, fps) == pytest.approx(0.5)
+
+
+class TestRendering:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "b"), [(1, 2.5), (10, 0.001)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "b" in lines[0]
+
+    def test_render_stack_figure(self):
+        text = render_stack_figure(
+            "Figure 6", figure6_area_intracluster(), "N"
+        )
+        assert text.startswith("Figure 6")
+        assert "SRF" in text and "InterSW" in text
+
+    def test_render_delay_figure(self):
+        text = render_delay_figure(
+            "Figure 8", figure8_delay_intracluster(), "N"
+        )
+        assert "t_intra" in text
+
+    def test_render_speedup_figure(self):
+        text = render_speedup_figure(
+            "Figure 13", figure13_kernel_speedups(), "N"
+        )
+        assert "harmonic_mean" in text
+        assert "N=14" in text
+
+    def test_render_grid(self):
+        grid = table5_performance_per_area(n_values=(5,), c_values=(8, 16))
+        text = render_grid("Table 5", grid, (8, 16), (5,))
+        assert "Table 5" in text

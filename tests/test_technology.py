@@ -1,0 +1,88 @@
+"""Tests for repro.core.technology (sections 1, 2.2, 5 context)."""
+
+import pytest
+
+from repro.core.config import (
+    HEADLINE_1280,
+    IMAGINE_CONFIG,
+    ProcessorConfig,
+)
+from repro.core.params import TECH_45NM, TECH_180NM
+from repro.core.technology import (
+    alus_feasible,
+    arithmetic_bandwidth_gap,
+    arithmetic_scaling,
+    bandwidth_hierarchy,
+    bandwidth_scaling,
+    feasibility,
+)
+
+
+class TestTrends:
+    def test_annual_rates(self):
+        assert arithmetic_scaling(1) == pytest.approx(1.70)
+        assert bandwidth_scaling(1) == pytest.approx(1.25)
+
+    def test_gap_widens(self):
+        assert arithmetic_bandwidth_gap(0) == pytest.approx(1.0)
+        assert arithmetic_bandwidth_gap(5) > 4.0
+
+    def test_negative_years_rejected(self):
+        with pytest.raises(ValueError):
+            arithmetic_scaling(-1)
+        with pytest.raises(ValueError):
+            bandwidth_scaling(-0.5)
+
+
+class TestFeasibility:
+    def test_1280_alu_machine_exceeds_a_teraflop(self):
+        """Paper section 6: 1280 ALUs provide >1 TFLOP peak by 2007."""
+        report = feasibility(HEADLINE_1280, TECH_45NM)
+        assert report.peak_gops > 1000.0
+
+    def test_1280_alu_power_near_10w(self):
+        """... while dissipating less than 10 Watts (we allow ~20%
+        model slack at full utilization)."""
+        report = feasibility(HEADLINE_1280, TECH_45NM)
+        assert report.power_watts < 12.0
+
+    def test_640_alu_power_below_1280(self):
+        small = feasibility(ProcessorConfig(128, 5), TECH_45NM)
+        large = feasibility(HEADLINE_1280, TECH_45NM)
+        assert small.power_watts < large.power_watts
+        assert small.area_mm2 < large.area_mm2
+
+    def test_die_area_plausible(self):
+        """The 1280-ALU die must be large but manufacturable (< 400 mm^2)."""
+        report = feasibility(HEADLINE_1280, TECH_45NM)
+        assert 50.0 < report.area_mm2 < 400.0
+
+    def test_over_a_thousand_alus_feasible_at_45nm(self):
+        """Paper section 1: 'over a thousand floating-point units on a
+        single chip will be feasible' at 45 nm."""
+        assert alus_feasible(TECH_45NM) > 1000
+
+    def test_reference_node_reproduces_itself(self):
+        assert alus_feasible(TECH_180NM, TECH_180NM, 48, die_growth=1.0) == 48
+
+    def test_bad_die_growth_rejected(self):
+        with pytest.raises(ValueError):
+            alus_feasible(TECH_45NM, die_growth=0)
+
+
+class TestBandwidthHierarchy:
+    def test_three_tiers_ordered(self):
+        h = bandwidth_hierarchy(IMAGINE_CONFIG, TECH_180NM, clock_ghz=0.25)
+        assert h.memory_gbps < h.srf_gbps < h.lrf_gbps
+
+    def test_imagine_ops_per_memory_word(self):
+        """Paper section 2.2: Imagine supports ~28 ALU ops per memory
+        word referenced."""
+        h = bandwidth_hierarchy(IMAGINE_CONFIG, TECH_180NM, clock_ghz=0.35)
+        assert h.ops_per_memory_word == pytest.approx(28, rel=0.45)
+
+    def test_most_traffic_stays_on_chip(self):
+        """Paper section 1: over 90% of data movement is local."""
+        h = bandwidth_hierarchy(IMAGINE_CONFIG, TECH_180NM, clock_ghz=0.25)
+        assert h.locality_fraction > 0.90
+        assert h.memory_fraction < 0.10

@@ -1,0 +1,78 @@
+"""Tests for the Gantt renderer and the per-kernel compilation report."""
+
+import pytest
+
+from repro.analysis.kernelreport import (
+    compilation_report,
+    render_compilation_report,
+)
+from repro.analysis.timeline import overlap_summary, render_gantt
+from repro.apps import get_application
+from repro.core.config import BASELINE_CONFIG
+from repro.sim.processor import simulate
+
+
+@pytest.fixture(scope="module")
+def conv_result():
+    return simulate(get_application("conv"), BASELINE_CONFIG)
+
+
+class TestGantt:
+    def test_renders_all_kinds(self, conv_result):
+        text = render_gantt(conv_result)
+        assert "L" in text and "#" in text and "S" in text
+        assert "conv" in text
+
+    def test_bars_fit_width(self, conv_result):
+        width = 60
+        text = render_gantt(conv_result, width=width)
+        for line in text.splitlines():
+            if line.endswith("|") and "|" in line[:-1]:
+                bar = line.split("|", 1)[1][:-1]
+                assert len(bar) <= width + 1
+
+    def test_rejects_tiny_width(self, conv_result):
+        with pytest.raises(ValueError):
+            render_gantt(conv_result, width=5)
+
+    def test_row_windowing(self, conv_result):
+        text = render_gantt(conv_result, max_rows=4)
+        assert "first 4 of" in text
+
+
+class TestOverlapSummary:
+    def test_kernels_dominate_conv(self, conv_result):
+        summary = overlap_summary(conv_result)
+        assert summary["kernel"] > 0.5
+
+    def test_double_buffering_shows_as_overlap(self, conv_result):
+        """Loads + kernels + stores cover more than the wall clock:
+        the surplus is the overlap double buffering bought."""
+        summary = overlap_summary(conv_result)
+        assert sum(summary.values()) > 1.0
+
+
+class TestCompilationReport:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return compilation_report(
+            kernels=("blocksad", "fft"), configs=((8, 5), (8, 14))
+        )
+
+    def test_covers_the_grid(self, rows):
+        assert len(rows) == 4
+        assert {r.kernel for r in rows} == {"blocksad", "fft"}
+
+    def test_ii_at_least_both_bounds(self, rows):
+        for r in rows:
+            assert r.ii >= r.resource_mii
+            assert r.ii >= r.recurrence_mii
+
+    def test_pressure_within_capacity(self, rows):
+        for r in rows:
+            assert r.max_live <= r.register_capacity
+
+    def test_render(self, rows):
+        text = render_compilation_report(rows)
+        assert "ResMII" in text
+        assert "blocksad" in text

@@ -1,0 +1,53 @@
+"""Tests for the anchor-validation runner."""
+
+import pytest
+
+from repro.analysis.validate import (
+    AnchorResult,
+    render_validation,
+    validate_all,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return validate_all(include_apps=False)
+
+
+class TestValidateAll:
+    def test_every_cost_anchor_passes(self, results):
+        failures = [r.name for r in results if not r.passed]
+        assert failures == []
+
+    def test_covers_all_sections(self, results):
+        sections = {r.section for r in results}
+        assert {"1", "3", "4.1", "4.2"} <= sections
+
+    def test_deviation_signs_consistent(self, results):
+        for r in results:
+            if r.paper:
+                assert r.deviation == pytest.approx(
+                    r.measured / r.paper - 1.0
+                )
+
+    def test_apps_flag_adds_rows(self, results):
+        with_apps = validate_all(include_apps=True)
+        assert len(with_apps) == len(results) + 2
+
+
+class TestRendering:
+    def test_render_contains_verdicts(self, results):
+        text = render_validation(results)
+        assert "PASS" in text
+        assert f"{len(results)}/{len(results)}" in text
+
+    def test_render_fail_case(self):
+        rows = [
+            AnchorResult(
+                name="fake", section="9", paper=1.0, measured=2.0,
+                deviation=1.0, passed=False,
+            )
+        ]
+        text = render_validation(rows)
+        assert "FAIL" in text
+        assert "0/1" in text
