@@ -5,6 +5,7 @@ Commands
 ``costs``      evaluate the VLSI cost model at one (C, N) point
 ``compile``    compile a suite kernel and report its schedule
 ``simulate``   run one of the six applications on a configuration
+``trace``      simulate with full event tracing (Perfetto-loadable)
 ``figures``    regenerate the paper's tables and figures (text form)
 ``headline``   check the paper's headline claims
 
@@ -15,6 +16,8 @@ Examples
     python -m repro costs --clusters 128 --alus 5
     python -m repro compile fft --clusters 8 --alus 10
     python -m repro simulate depth --clusters 128 --alus 10
+    python -m repro simulate fft1k --json > manifest.json
+    python -m repro trace depth --out trace.json
     python -m repro figures --only fig9 fig13
     python -m repro headline
 """
@@ -22,6 +25,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -48,7 +52,8 @@ from .compiler import compile_kernel
 from .core import CostModel, ProcessorConfig
 from .core.technology import TECH_45NM, feasibility
 from .kernels import KERNELS, get_kernel
-from .sim import simulate
+from .obs import MetricsRegistry, PhaseProfiler, Tracer, build_manifest
+from .sim import DEFAULT_MAX_EVENTS, simulate
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -111,13 +116,59 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_instrumented(args: argparse.Namespace, tracer: Tracer):
+    """Shared simulate/trace plumbing: build, compile, run, and time.
+
+    Returns ``(result, tracer, profiler)``; the profiler has ``build``,
+    ``compile`` and ``simulate`` wall-clock phases (kernel compilation
+    is cached, so pre-compiling here moves its cost out of the
+    ``simulate`` phase without changing what runs).
+    """
+    config = _config(args)
+    metrics = MetricsRegistry()
+    profiler = PhaseProfiler()
+    with profiler.phase("build"):
+        program = get_application(args.application)
+    with profiler.phase("compile"):
+        for call in program.kernel_calls():
+            compile_kernel(call.kernel, config)
+    with profiler.phase("simulate"):
+        result = simulate(
+            program,
+            config,
+            tracer=tracer,
+            metrics=metrics,
+            max_events=getattr(args, "max_events", DEFAULT_MAX_EVENTS),
+        )
+    return result, profiler
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     if args.application not in APPLICATION_ORDER:
         print(f"unknown application {args.application!r}; "
               f"available: {', '.join(APPLICATION_ORDER)}", file=sys.stderr)
         return 2
     config = _config(args)
-    result = simulate(get_application(args.application), config)
+    if args.json or args.trace_out:
+        tracer = Tracer()
+        result, profiler = _run_instrumented(args, tracer)
+        if args.trace_out:
+            with open(args.trace_out, "w") as handle:
+                handle.write(tracer.to_chrome_json(indent=2))
+        if args.json:
+            manifest = build_manifest(
+                result,
+                application=args.application,
+                timings=profiler.as_dict(),
+            )
+            print(json.dumps(manifest, indent=2))
+            return 0
+    else:
+        result = simulate(
+            get_application(args.application),
+            config,
+            max_events=args.max_events,
+        )
     print(f"{args.application} on {config.describe()}:")
     print(f"  cycles:       {result.cycles}")
     print(f"  sustained:    {result.gops:.1f} GOPS "
@@ -139,6 +190,37 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
         print()
         print(render_gantt(result))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    if args.application not in APPLICATION_ORDER:
+        print(f"unknown application {args.application!r}; "
+              f"available: {', '.join(APPLICATION_ORDER)}", file=sys.stderr)
+        return 2
+    from .analysis.timeline import render_trace
+
+    tracer = Tracer()
+    result, profiler = _run_instrumented(args, tracer)
+    print(render_trace(tracer, max_rows_per_resource=args.rows))
+    print(f"({result.cycles} cycles simulated in "
+          f"{profiler.seconds('simulate') * 1e3:.1f} ms wall; "
+          f"compile {profiler.seconds('compile') * 1e3:.1f} ms)")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(tracer.to_chrome_json(indent=2))
+        print(f"wrote Chrome-trace JSON to {args.out} "
+              "(open in chrome://tracing or https://ui.perfetto.dev)")
+    if args.manifest_out:
+        from .analysis.export import export_run_manifest
+
+        export_run_manifest(
+            result,
+            args.manifest_out,
+            application=args.application,
+            timings=profiler.as_dict(),
+        )
+        print(f"wrote run manifest to {args.manifest_out}")
     return 0
 
 
@@ -262,7 +344,29 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the stream-operation timeline")
     sim.add_argument("--gantt", action="store_true",
                      help="draw a proportional ASCII Gantt chart")
+    sim.add_argument("--json", action="store_true",
+                     help="emit a machine-readable run manifest instead "
+                          "of the human summary")
+    sim.add_argument("--trace-out", metavar="PATH",
+                     help="also write a Chrome-trace-format JSON trace")
+    sim.add_argument("--max-events", type=int, default=DEFAULT_MAX_EVENTS,
+                     help="event budget before declaring livelock")
     sim.set_defaults(func=cmd_simulate)
+
+    trace = sub.add_parser(
+        "trace", help="simulate with full event tracing"
+    )
+    trace.add_argument("application", help="application name (e.g. depth)")
+    _add_config_arguments(trace)
+    trace.add_argument("--out", metavar="PATH",
+                       help="write Chrome-trace JSON (Perfetto-loadable)")
+    trace.add_argument("--manifest-out", metavar="PATH",
+                       help="write the run manifest JSON")
+    trace.add_argument("--rows", type=int, default=40,
+                       help="max timeline rows per resource")
+    trace.add_argument("--max-events", type=int, default=DEFAULT_MAX_EVENTS,
+                       help="event budget before declaring livelock")
+    trace.set_defaults(func=cmd_trace)
 
     report = sub.add_parser(
         "schedules", help="per-kernel compilation report (II, bounds...)"

@@ -1,0 +1,57 @@
+"""Observability for the stream-processor simulator.
+
+Four pieces, composable and all optional:
+
+* :mod:`repro.obs.tracer`   — span tracing with Chrome-trace export.
+* :mod:`repro.obs.metrics`  — named counters/gauges/histograms.
+* :mod:`repro.obs.profile`  — wall-clock phase timing of the host.
+* :mod:`repro.obs.manifest` — versioned machine-readable run reports.
+
+The default :data:`~repro.obs.tracer.NULL_TRACER` records nothing, so an
+uninstrumented run is bit-identical to one from before this package
+existed.  See ``docs/observability.md`` for the full tour.
+"""
+
+from .manifest import (
+    MANIFEST_SCHEMA,
+    MANIFEST_VERSION,
+    ManifestError,
+    build_manifest,
+    validate_manifest,
+    write_manifest,
+)
+from .metrics import (
+    AccountingWarning,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricValue,
+    MetricsRegistry,
+    MetricsSnapshot,
+    accounting_warning,
+)
+from .profile import PhaseProfiler
+from .tracer import NULL_TRACER, NullTracer, PrefixedTracer, Span, Tracer
+
+__all__ = [
+    "AccountingWarning",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MANIFEST_SCHEMA",
+    "MANIFEST_VERSION",
+    "ManifestError",
+    "MetricValue",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_TRACER",
+    "NullTracer",
+    "PhaseProfiler",
+    "PrefixedTracer",
+    "Span",
+    "Tracer",
+    "accounting_warning",
+    "build_manifest",
+    "validate_manifest",
+    "write_manifest",
+]

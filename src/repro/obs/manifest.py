@@ -1,0 +1,189 @@
+"""Versioned, machine-readable run manifests.
+
+One simulation run serializes to one JSON *manifest*: the configuration
+simulated, the environment that produced it, the result metrics, and
+the wall-clock timings of the host process.  Manifests are what a
+``BENCH_*.json`` perf trajectory stores and compares across PRs, so the
+schema is versioned and validated — :func:`validate_manifest` checks a
+parsed document against :data:`MANIFEST_SCHEMA` without any external
+dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from typing import Any, Dict, List, Mapping, Optional
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "MANIFEST_SCHEMA",
+    "ManifestError",
+    "build_manifest",
+    "validate_manifest",
+    "write_manifest",
+]
+
+#: Bumped whenever a field is added, removed, or changes meaning.
+MANIFEST_VERSION = 1
+
+#: Minimal schema language: a dict maps required keys to specs; a spec
+#: is a type, a tuple of allowed types, or a nested dict.  Keys listed
+#: in ``_optional`` may be absent but are type-checked when present.
+MANIFEST_SCHEMA: Dict[str, Any] = {
+    "manifest_version": int,
+    "tool": {"name": str, "version": str},
+    "application": str,
+    "config": {
+        "clusters": int,
+        "alus_per_cluster": int,
+        "total_alus": int,
+        "srf_capacity_words": int,
+    },
+    "clock_ghz": (int, float),
+    "seed_state": {
+        "deterministic": bool,
+        "_optional": {"python_hash_seed": (str, type(None))},
+    },
+    "environment": {
+        "python": str,
+        "platform": str,
+    },
+    "results": {
+        "cycles": int,
+        "useful_alu_ops": int,
+        "gops": (int, float),
+        "alu_utilization": (int, float),
+        "memory_utilization": (int, float),
+        "cluster_utilization": (int, float),
+        "spill_words": int,
+        "reload_words": int,
+        "ucode_reloads": int,
+        "bandwidth": {
+            "lrf_words": int,
+            "srf_words": int,
+            "memory_words": int,
+            "locality_fraction": (int, float),
+        },
+    },
+    "metrics": dict,
+    "timings": dict,
+    "_optional": {"metric_warnings": list},
+}
+
+
+class ManifestError(ValueError):
+    """A manifest does not conform to :data:`MANIFEST_SCHEMA`."""
+
+
+def build_manifest(
+    result: Any,
+    *,
+    application: Optional[str] = None,
+    timings: Optional[Mapping[str, float]] = None,
+) -> Dict[str, Any]:
+    """Serialize a :class:`~repro.sim.metrics.SimulationResult`.
+
+    ``result`` is duck-typed (anything exposing the result interface
+    works) so this module stays import-independent of :mod:`repro.sim`.
+    """
+    from .. import __version__
+
+    snapshot = getattr(result, "metrics", None)
+    manifest: Dict[str, Any] = {
+        "manifest_version": MANIFEST_VERSION,
+        "tool": {"name": "repro", "version": __version__},
+        "application": application or result.program,
+        "config": {
+            "clusters": result.config.clusters,
+            "alus_per_cluster": result.config.alus_per_cluster,
+            "total_alus": result.config.total_alus,
+            "srf_capacity_words": int(result.config.srf_capacity_words),
+        },
+        "clock_ghz": result.clock_ghz,
+        # The simulator is fully deterministic (no RNG anywhere in the
+        # model); the hash seed is recorded because it is the only
+        # interpreter-level source of nondeterminism that could matter.
+        "seed_state": {
+            "deterministic": True,
+            "python_hash_seed": os.environ.get("PYTHONHASHSEED"),
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "platform": sys.platform,
+        },
+        "results": {
+            "cycles": result.cycles,
+            "useful_alu_ops": result.useful_alu_ops,
+            "gops": result.gops,
+            "alu_utilization": result.alu_utilization,
+            "memory_utilization": result.memory_utilization,
+            "cluster_utilization": result.cluster_utilization,
+            "spill_words": result.spill_words,
+            "reload_words": result.reload_words,
+            "ucode_reloads": result.ucode_reloads,
+            "bandwidth": {
+                "lrf_words": result.bandwidth.lrf_words,
+                "srf_words": result.bandwidth.srf_words,
+                "memory_words": result.bandwidth.memory_words,
+                "locality_fraction": result.bandwidth.locality_fraction,
+            },
+        },
+        "metrics": dict(snapshot.as_dict()) if snapshot else {},
+        "timings": dict(timings or {}),
+    }
+    if snapshot and snapshot.warnings:
+        manifest["metric_warnings"] = list(snapshot.warnings)
+    return manifest
+
+
+def _check(value: Any, spec: Any, path: str, errors: List[str]) -> None:
+    if isinstance(spec, dict):
+        if not isinstance(value, dict):
+            errors.append(f"{path}: expected object, got {type(value).__name__}")
+            return
+        optional = spec.get("_optional", {})
+        for key, sub in spec.items():
+            if key == "_optional":
+                continue
+            if key not in value:
+                errors.append(f"{path}.{key}: missing required field")
+            else:
+                _check(value[key], sub, f"{path}.{key}", errors)
+        for key, sub in optional.items():
+            if key in value:
+                _check(value[key], sub, f"{path}.{key}", errors)
+        return
+    types = spec if isinstance(spec, tuple) else (spec,)
+    # bool is an int subclass; keep the two distinct in the schema.
+    if isinstance(value, bool) and bool not in types:
+        errors.append(f"{path}: expected {spec}, got bool")
+    elif not isinstance(value, types):
+        errors.append(
+            f"{path}: expected "
+            f"{'/'.join(t.__name__ for t in types)}, "
+            f"got {type(value).__name__}"
+        )
+
+
+def validate_manifest(manifest: Any) -> None:
+    """Raise :class:`ManifestError` unless ``manifest`` fits the schema."""
+    errors: List[str] = []
+    _check(manifest, MANIFEST_SCHEMA, "manifest", errors)
+    if not errors and manifest["manifest_version"] != MANIFEST_VERSION:
+        errors.append(
+            f"manifest.manifest_version: {manifest['manifest_version']} "
+            f"is not the supported version {MANIFEST_VERSION}"
+        )
+    if errors:
+        raise ManifestError("; ".join(errors))
+
+
+def write_manifest(manifest: Mapping[str, Any], path: str) -> None:
+    """Validate ``manifest`` and write it as indented JSON to ``path``."""
+    validate_manifest(manifest)
+    with open(path, "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=False)
+        handle.write("\n")

@@ -1,0 +1,199 @@
+"""Named metrics for simulation runs: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of instruments the
+simulator updates as it runs — queue occupancy, per-resource busy
+cycles, stream-operation latency distributions, microcode reloads,
+spill/reload traffic.  At the end of a run the registry freezes into a
+:class:`MetricsSnapshot` that :class:`~repro.sim.metrics.SimulationResult`
+carries and the run manifest serializes.
+
+The registry is also where accounting sanity-checks surface:
+:func:`accounting_warning` raises an :class:`AccountingWarning` through
+the standard :mod:`warnings` machinery instead of letting impossible
+numbers (busy cycles beyond total cycles) clamp silently.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "AccountingWarning",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricValue",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "accounting_warning",
+]
+
+
+class AccountingWarning(UserWarning):
+    """A simulator invariant looks violated (e.g. busy > total cycles)."""
+
+
+def accounting_warning(message: str) -> None:
+    """Emit an :class:`AccountingWarning` attributed to the caller."""
+    warnings.warn(message, AccountingWarning, stacklevel=3)
+
+
+class Counter:
+    """A monotonically increasing count (words spilled, reloads...)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Union[int, float] = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (queue occupancy, SRF words in use...)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        """Record the gauge's current value."""
+        self.value = value
+
+
+class Histogram:
+    """A distribution summarized as count/total/min/max.
+
+    The simulator's distributions (stream-op latency, transfer sizes)
+    are consumed as summary statistics in reports and manifests, so the
+    histogram stores moments rather than raw samples.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total: Union[int, float] = 0
+        self.min: Optional[Union[int, float]] = None
+        self.max: Optional[Union[int, float]] = None
+
+    def observe(self, value: Union[int, float]) -> None:
+        """Fold one sample into the distribution."""
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observed samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass(frozen=True)
+class MetricValue:
+    """One named scalar in a frozen snapshot."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    value: Union[int, float]
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """An immutable, hashable view of a registry at one moment.
+
+    Histograms flatten into ``name.count`` / ``name.total`` /
+    ``name.min`` / ``name.max`` / ``name.mean`` entries so the snapshot
+    stays a flat namespace of scalars.
+    """
+
+    entries: Tuple[MetricValue, ...] = ()
+    warnings: Tuple[str, ...] = ()
+
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        """The snapshot as a plain ``{name: value}`` dictionary."""
+        return {entry.name: entry.value for entry in self.entries}
+
+    def __getitem__(self, name: str) -> Union[int, float]:
+        for entry in self.entries:
+            if entry.name == name:
+                return entry.value
+        raise KeyError(name)
+
+    def __contains__(self, name: str) -> bool:
+        return any(entry.name == name for entry in self.entries)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments for one run."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Any] = {}
+        self._warnings: List[str] = []
+
+    def _get(self, name: str, factory) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = factory(name)
+        elif not isinstance(instrument, factory):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {factory.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        return self._get(name, Histogram)
+
+    def warn(self, message: str) -> None:
+        """Record an accounting anomaly and surface it as a warning."""
+        self._warnings.append(message)
+        self.counter("warnings").inc()
+        accounting_warning(message)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze every instrument into a :class:`MetricsSnapshot`."""
+        entries: List[MetricValue] = []
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                entries.append(MetricValue(name, "counter", instrument.value))
+            elif isinstance(instrument, Gauge):
+                entries.append(MetricValue(name, "gauge", instrument.value))
+            else:
+                entries.extend(
+                    (
+                        MetricValue(
+                            f"{name}.count", "histogram", instrument.count
+                        ),
+                        MetricValue(
+                            f"{name}.total", "histogram", instrument.total
+                        ),
+                        MetricValue(
+                            f"{name}.min", "histogram", instrument.min or 0
+                        ),
+                        MetricValue(
+                            f"{name}.max", "histogram", instrument.max or 0
+                        ),
+                        MetricValue(
+                            f"{name}.mean", "histogram", instrument.mean
+                        ),
+                    )
+                )
+        return MetricsSnapshot(
+            entries=tuple(entries), warnings=tuple(self._warnings)
+        )

@@ -1,0 +1,46 @@
+"""Wall-clock profiling of the simulator itself.
+
+The simulated machine reports cycles; this module reports how long the
+*host Python process* spent producing them, so the simulator's own
+performance is measured run over run (the ``timings`` block of the run
+manifest).  Phases nest freely and repeated phases accumulate.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = ["PhaseProfiler"]
+
+
+class PhaseProfiler:
+    """Accumulates ``perf_counter`` wall time under named phases."""
+
+    def __init__(self) -> None:
+        self._seconds: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time the enclosed block and charge it to ``name``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+            self._calls[name] = self._calls.get(name, 0) + 1
+
+    def seconds(self, name: str) -> float:
+        """Total wall seconds charged to ``name`` (0.0 if never entered)."""
+        return self._seconds.get(name, 0.0)
+
+    def calls(self, name: str) -> int:
+        """How many times the ``name`` phase ran."""
+        return self._calls.get(name, 0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """``{phase: seconds}`` for every phase, in name order."""
+        return {name: self._seconds[name] for name in sorted(self._seconds)}

@@ -1,7 +1,7 @@
 """Stream-processor application simulator (the C++ simulator substitute)."""
 
 from .cluster import ClusterArray, KernelRun
-from .events import EventQueue
+from .events import DEFAULT_MAX_EVENTS, EventQueue
 from .host import Host
 from .memory import AccessPattern, MemorySystem, Transfer
 from .metrics import BandwidthReport, OpRecord, SimulationResult
@@ -14,6 +14,7 @@ __all__ = [
     "BandwidthReport",
     "CapacityError",
     "ClusterArray",
+    "DEFAULT_MAX_EVENTS",
     "EventQueue",
     "Eviction",
     "Host",

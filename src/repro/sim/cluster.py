@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from ..compiler.pipeline import KernelSchedule
 from ..core.config import ProcessorConfig
+from ..obs.tracer import NULL_TRACER, Tracer
 
 #: Fixed dispatch cost per kernel invocation: the stream controller hands
 #: the call to the microcontroller and the cluster pipeline fills.
@@ -42,13 +43,17 @@ class KernelRun:
 class ClusterArray:
     """The C SIMD clusters plus microcontroller, as one serial resource."""
 
-    def __init__(self, config: ProcessorConfig):
+    def __init__(
+        self, config: ProcessorConfig, tracer: Tracer = NULL_TRACER
+    ):
         self.config = config
         self.ucode_capacity = int(config.params.r_uc)
+        self.tracer = tracer
         self._resident: "OrderedDict[str, int]" = OrderedDict()
         self._free_at = 0
         self.busy_cycles = 0
         self.ucode_reloads = 0
+        self.ucode_reload_cycles = 0
 
     @property
     def free_at(self) -> int:
@@ -93,6 +98,25 @@ class ClusterArray:
         finish = start + duration
         self._free_at = finish
         self.busy_cycles += duration
+        self.ucode_reload_cycles += reload_cycles
+        if self.tracer.enabled:
+            if reload_cycles:
+                self.tracer.span(
+                    "microcontroller",
+                    f"ucode {schedule.kernel_name}",
+                    start + DISPATCH_CYCLES,
+                    start + DISPATCH_CYCLES + reload_cycles,
+                    words=schedule.instruction_count,
+                )
+            self.tracer.span(
+                "clusters",
+                schedule.kernel_name,
+                start,
+                finish,
+                work_items=work_items,
+                iterations=iterations,
+                ucode_reload_cycles=reload_cycles,
+            )
         return KernelRun(
             start=start,
             finish=finish,

@@ -5,6 +5,11 @@ every event, newly-ready stream operations are dispatched onto whichever
 resource they need.  This mirrors the structure of the cycle-accurate
 simulator the paper used, at stream-operation granularity with
 cycle-exact kernel timing from the compiled schedules.
+
+The queue is instrumented: give it a :class:`~repro.obs.tracer.Tracer`
+and every processed event becomes a trace instant; give it a
+:class:`~repro.obs.metrics.MetricsRegistry` and it maintains occupancy
+and throughput metrics.  Both default to off with zero overhead.
 """
 
 from __future__ import annotations
@@ -14,45 +19,101 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Tracer
+
+#: Default event budget before :meth:`EventQueue.run` declares livelock.
+DEFAULT_MAX_EVENTS = 10_000_000
+
 
 @dataclass(order=True)
 class _Event:
     time: int
     order: int
     action: Callable[[], None] = field(compare=False)
+    label: Optional[str] = field(compare=False, default=None)
 
 
 class EventQueue:
     """Time-ordered event queue with stable FIFO ordering at equal times."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        tracer: Tracer = NULL_TRACER,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._heap: List[_Event] = []
         self._counter = itertools.count()
         self._now = 0
+        self._processed = 0
+        self.tracer = tracer
+        self.metrics = metrics
 
     @property
     def now(self) -> int:
         """Current simulation time (cycles)."""
         return self._now
 
-    def schedule(self, time: int, action: Callable[[], None]) -> None:
-        """Run ``action`` at ``time`` (must not be in the past)."""
+    @property
+    def processed(self) -> int:
+        """Events executed so far across all :meth:`run` calls."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Events currently waiting in the heap."""
+        return len(self._heap)
+
+    def schedule(
+        self,
+        time: int,
+        action: Callable[[], None],
+        label: Optional[str] = None,
+    ) -> None:
+        """Run ``action`` at ``time`` (must not be in the past).
+
+        ``label`` names the event in traces and livelock diagnostics.
+        """
         if time < self._now:
             raise ValueError(
                 f"cannot schedule event at {time}, now is {self._now}"
             )
-        heapq.heappush(self._heap, _Event(time, next(self._counter), action))
+        heapq.heappush(
+            self._heap, _Event(time, next(self._counter), action, label)
+        )
 
-    def run(self, max_events: int = 10_000_000) -> int:
-        """Drain the queue; returns the final time."""
+    def run(self, max_events: int = DEFAULT_MAX_EVENTS) -> int:
+        """Drain the queue; returns the final time.
+
+        Raises :class:`RuntimeError` with the current time, the number
+        of events processed, and the pending-heap size once more than
+        ``max_events`` events execute — the signature of a livelocked
+        model endlessly rescheduling itself.
+        """
         events = 0
+        occupancy = (
+            self.metrics.histogram("events.queue_occupancy")
+            if self.metrics is not None
+            else None
+        )
         while self._heap:
             events += 1
             if events > max_events:
-                raise RuntimeError("event budget exceeded (livelock?)")
+                raise RuntimeError(
+                    f"event budget of {max_events} exceeded (livelock?): "
+                    f"{events - 1} events processed this run, now at cycle "
+                    f"{self._now}, {len(self._heap)} events still pending"
+                )
+            if occupancy is not None:
+                occupancy.observe(len(self._heap))
             event = heapq.heappop(self._heap)
             self._now = event.time
+            self._processed += 1
+            if self.tracer.enabled and event.label is not None:
+                self.tracer.instant("events", event.label, event.time)
             event.action()
+        if self.metrics is not None:
+            self.metrics.counter("events.processed").inc(events)
         return self._now
 
     def empty(self) -> bool:

@@ -15,6 +15,7 @@ which owns completion times).
 from __future__ import annotations
 
 from ..core.params import TECH_45NM, TechnologyNode
+from ..obs.tracer import NULL_TRACER, Tracer
 
 #: Bytes of one stream instruction (descriptor: opcode, stream base /
 #: length / stride registers, kernel microcode handle...).
@@ -32,6 +33,7 @@ class Host:
         node: TechnologyNode = TECH_45NM,
         clock_ghz: float = 1.0,
         scoreboard_depth: int = SCOREBOARD_DEPTH,
+        tracer: Tracer = NULL_TRACER,
     ):
         if scoreboard_depth < 1:
             raise ValueError("scoreboard needs at least one entry")
@@ -40,13 +42,18 @@ class Host:
             1, int(round(STREAM_INSTRUCTION_BYTES / bytes_per_cycle))
         )
         self.scoreboard_depth = scoreboard_depth
+        self.tracer = tracer
+        self.instructions_issued = 0
         self._channel_free = 0
 
-    def issue(self, earliest: int) -> int:
+    def issue(self, earliest: int, label: str = "stream instruction") -> int:
         """Deliver one stream instruction; returns its arrival cycle."""
         start = max(earliest, self._channel_free)
         done = start + self.cycles_per_instruction
         self._channel_free = done
+        self.instructions_issued += 1
+        if self.tracer.enabled:
+            self.tracer.span("host", label, start, done)
         return done
 
     @property

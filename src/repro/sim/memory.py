@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from ..core.config import ProcessorConfig
 from ..core.params import TECH_45NM, TechnologyNode
 from ..isa.values import AccessPattern
+from ..obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["AccessPattern", "MemorySystem", "Transfer"]
 
@@ -46,6 +47,7 @@ class MemorySystem:
         config: ProcessorConfig,
         node: TechnologyNode = TECH_45NM,
         clock_ghz: float = 1.0,
+        tracer: Tracer = NULL_TRACER,
     ):
         if clock_ghz <= 0:
             raise ValueError("clock must be positive")
@@ -55,9 +57,11 @@ class MemorySystem:
         if self.words_per_cycle <= 0:
             raise ValueError("memory bandwidth must be positive")
         self.latency = int(config.params.t_mem)
+        self.tracer = tracer
         self._free_at = 0
         self.busy_cycles = 0
         self.words_transferred = 0
+        self.transfer_count = 0
 
     def transfer(
         self,
@@ -79,6 +83,18 @@ class MemorySystem:
         self._free_at = bandwidth_done
         self.busy_cycles += service
         self.words_transferred += words
+        self.transfer_count += 1
+        if self.tracer.enabled:
+            self.tracer.span(
+                "memory",
+                f"{words}w {pattern.name.lower()}",
+                start,
+                bandwidth_done,
+                words=words,
+                pattern=pattern.name,
+                requested=earliest,
+                data_ready=bandwidth_done + self.latency,
+            )
         return Transfer(
             words=words,
             start=start,

@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..core.config import ProcessorConfig
+from ..obs.metrics import MetricsSnapshot, accounting_warning
 
 
 @dataclass(frozen=True)
@@ -87,6 +88,9 @@ class SimulationResult:
     bandwidth: BandwidthReport = field(
         default_factory=lambda: BandwidthReport(0, 0, 0)
     )
+    #: Frozen registry snapshot from an instrumented run (None when the
+    #: simulation ran without a :class:`~repro.obs.metrics.MetricsRegistry`).
+    metrics: Optional[MetricsSnapshot] = None
 
     @property
     def seconds(self) -> float:
@@ -108,17 +112,34 @@ class SimulationResult:
         """Fraction of peak arithmetic actually sustained."""
         return self.gops / self.peak_gops
 
-    @property
-    def memory_utilization(self) -> float:
+    def _utilization(self, name: str, busy_cycles: int) -> float:
+        """Busy fraction, warning (not silently clamping) on busy > total.
+
+        A resource serialized behind its own ``free_at`` can never be
+        busy for more cycles than the run lasted, so a ratio above 1.0
+        is an accounting bug — surface it as an
+        :class:`~repro.obs.metrics.AccountingWarning` rather than hide
+        it, then clamp so downstream percentage maths stays sane.
+        """
         if self.cycles == 0:
             return 0.0
-        return min(1.0, self.memory_busy_cycles / self.cycles)
+        utilization = busy_cycles / self.cycles
+        if utilization > 1.0:
+            accounting_warning(
+                f"{name} busy cycles ({busy_cycles}) exceed total cycles "
+                f"({self.cycles}) for {self.program!r}; utilization "
+                "clamped to 1.0 — check the resource's accounting"
+            )
+            return 1.0
+        return utilization
+
+    @property
+    def memory_utilization(self) -> float:
+        return self._utilization("memory", self.memory_busy_cycles)
 
     @property
     def cluster_utilization(self) -> float:
-        if self.cycles == 0:
-            return 0.0
-        return min(1.0, self.cluster_busy_cycles / self.cycles)
+        return self._utilization("cluster", self.cluster_busy_cycles)
 
     def speedup_over(self, baseline: "SimulationResult") -> float:
         """Wall-clock speedup versus a baseline run of the same program."""

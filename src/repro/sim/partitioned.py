@@ -19,9 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from typing import Optional
+
 from ..apps.streamc import KernelCall, LoadOp, StoreOp, Stream, StreamProgram
 from ..core.config import ProcessorConfig
 from ..core.params import TECH_45NM, TechnologyNode
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, PrefixedTracer, Tracer
 from .processor import StreamProcessor
 
 
@@ -139,6 +143,8 @@ def simulate_partitioned(
     processors: int,
     node: TechnologyNode = TECH_45NM,
     clock_ghz: float = 1.0,
+    tracer: Tracer = NULL_TRACER,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> PartitionedRun:
     """Run ``program`` as a kernel pipeline over ``processors`` machines.
 
@@ -170,7 +176,16 @@ def simulate_partitioned(
     for partition in range(processors):
         sub, glue = _build_partition(program, assignment, partition)
         glue_words += glue
-        result = StreamProcessor(sub_config, node, clock_ghz).run(sub)
+        # Each partition traces under its own resource prefix so one
+        # shared trace shows all the stages side by side.
+        sub_tracer = (
+            PrefixedTracer(tracer, f"p{partition}.")
+            if tracer.enabled
+            else tracer
+        )
+        result = StreamProcessor(
+            sub_config, node, clock_ghz, tracer=sub_tracer, metrics=metrics
+        ).run(sub)
         stage_cycles.append(result.cycles)
         if result.cycles == max(stage_cycles):
             bottleneck_batches = max(1, len(sub.kernel_calls()))

@@ -17,35 +17,58 @@ every effect the paper's section 5.3 analysis names:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..apps.streamc import KernelCall, LoadOp, StoreOp, StreamProgram
 from ..compiler.pipeline import compile_kernel
 from ..core.config import ProcessorConfig
 from ..core.params import TECH_45NM, TechnologyNode
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Tracer
 from .cluster import ClusterArray
+from .events import DEFAULT_MAX_EVENTS, EventQueue
 from .host import Host
 from .memory import MemorySystem
 from .metrics import BandwidthReport, OpRecord, SimulationResult
 from .srf import SRFAllocator
 
+#: Trace lane per stream-operation kind.
+_OP_LANES = {
+    "LoadOp": "stream.load",
+    "KernelCall": "stream.kernel",
+    "StoreOp": "stream.store",
+}
+
 
 class StreamProcessor:
-    """One simulated stream processor instance (single program runs)."""
+    """One simulated stream processor instance (single program runs).
+
+    Pass a :class:`~repro.obs.tracer.Tracer` and/or a
+    :class:`~repro.obs.metrics.MetricsRegistry` to instrument the run;
+    both default to off and an uninstrumented run takes the exact code
+    path (and produces the exact result) it did before instrumentation
+    existed.
+    """
 
     def __init__(
         self,
         config: ProcessorConfig,
         node: TechnologyNode = TECH_45NM,
         clock_ghz: float = 1.0,
+        tracer: Tracer = NULL_TRACER,
+        metrics: Optional[MetricsRegistry] = None,
+        max_events: int = DEFAULT_MAX_EVENTS,
     ):
         self.config = config
         self.node = node
         self.clock_ghz = clock_ghz
-        self.memory = MemorySystem(config, node, clock_ghz)
-        self.host = Host(node, clock_ghz)
-        self.clusters = ClusterArray(config)
-        self.srf = SRFAllocator(config)
+        self.tracer = tracer
+        self.metrics = metrics
+        self.max_events = max_events
+        self.memory = MemorySystem(config, node, clock_ghz, tracer)
+        self.host = Host(node, clock_ghz, tracer=tracer)
+        self.clusters = ClusterArray(config, tracer)
+        self.srf = SRFAllocator(config, metrics)
         self._lrf_words = 0
         self._srf_words = 0
 
@@ -56,6 +79,19 @@ class StreamProcessor:
         last_use = program.last_use()
         completion: List[int] = [0] * len(ops)
         records: List[OpRecord] = []
+
+        # When instrumented, op completions replay through the event
+        # queue so the tracer sees them in time order and the queue's
+        # own occupancy metrics are exercised; untraced runs skip the
+        # queue entirely (zero cost when disabled).  A non-default
+        # event budget also engages the queue — otherwise the budget
+        # would silently go unenforced.
+        observed = (
+            self.tracer.enabled
+            or self.metrics is not None
+            or self.max_events != DEFAULT_MAX_EVENTS
+        )
+        queue = EventQueue(self.tracer, self.metrics) if observed else None
 
         # Inputs measured "already in the SRF" occupy space from cycle 0;
         # dirty because memory holds no copy (eviction must write back).
@@ -80,16 +116,25 @@ class StreamProcessor:
             else:
                 finish = self._run_kernel(op, i, ready, last_use)
             completion[i] = finish
-            records.append(
-                OpRecord(
-                    index=i,
-                    kind=type(op).__name__,
-                    label=op.describe,
-                    start=ready,
-                    finish=finish,
-                )
+            record = OpRecord(
+                index=i,
+                kind=type(op).__name__,
+                label=op.describe,
+                start=ready,
+                finish=finish,
             )
+            records.append(record)
+            if queue is not None:
+                queue.schedule(
+                    finish,
+                    lambda r=record: self._observe_completion(r),
+                    label=f"complete {record.label}",
+                )
             self._release_dead_streams(op, i, last_use)
+
+        if queue is not None:
+            queue.run(self.max_events)
+            self._record_run_metrics()
 
         return SimulationResult(
             program=program.name,
@@ -109,6 +154,59 @@ class StreamProcessor:
                 srf_words=self._srf_words + self.memory.words_transferred,
                 memory_words=self.memory.words_transferred,
             ),
+            metrics=(
+                self.metrics.snapshot() if self.metrics is not None else None
+            ),
+        )
+
+    # --- instrumentation --------------------------------------------------
+
+    def _observe_completion(self, record: OpRecord) -> None:
+        """Event-queue action: log one finished stream operation."""
+        if self.tracer.enabled:
+            self.tracer.span(
+                _OP_LANES.get(record.kind, "stream.other"),
+                record.label,
+                record.start,
+                record.finish,
+                index=record.index,
+            )
+        if self.metrics is not None:
+            self.metrics.histogram("ops.latency_cycles").observe(
+                record.cycles
+            )
+            self.metrics.counter(
+                f"ops.{_OP_LANES.get(record.kind, 'other').split('.')[-1]}"
+            ).inc()
+
+    def _record_run_metrics(self) -> None:
+        """Fold end-of-run resource totals into the registry."""
+        if self.metrics is None:
+            return
+        self.metrics.counter("host.instructions").inc(
+            self.host.instructions_issued
+        )
+        self.metrics.counter("memory.busy_cycles").inc(
+            self.memory.busy_cycles
+        )
+        self.metrics.counter("memory.words").inc(
+            self.memory.words_transferred
+        )
+        self.metrics.counter("memory.transfers").inc(
+            self.memory.transfer_count
+        )
+        self.metrics.counter("clusters.busy_cycles").inc(
+            self.clusters.busy_cycles
+        )
+        self.metrics.counter("clusters.ucode_reloads").inc(
+            self.clusters.ucode_reloads
+        )
+        self.metrics.counter("clusters.ucode_reload_cycles").inc(
+            self.clusters.ucode_reload_cycles
+        )
+        self.metrics.counter("bandwidth.lrf_words").inc(self._lrf_words)
+        self.metrics.counter("bandwidth.srf_words").inc(
+            self._srf_words + self.memory.words_transferred
         )
 
     # --- per-op execution -------------------------------------------------
@@ -192,6 +290,16 @@ def simulate(
     config: ProcessorConfig,
     node: TechnologyNode = TECH_45NM,
     clock_ghz: float = 1.0,
+    tracer: Tracer = NULL_TRACER,
+    metrics: Optional[MetricsRegistry] = None,
+    max_events: int = DEFAULT_MAX_EVENTS,
 ) -> SimulationResult:
     """Convenience wrapper: run ``program`` on a fresh processor."""
-    return StreamProcessor(config, node, clock_ghz).run(program)
+    return StreamProcessor(
+        config,
+        node,
+        clock_ghz,
+        tracer=tracer,
+        metrics=metrics,
+        max_events=max_events,
+    ).run(program)

@@ -15,9 +15,10 @@ Streams are opaque hashable objects exposing a ``words`` attribute (the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Set
+from typing import Dict, Hashable, List, Optional, Set
 
 from ..core.config import ProcessorConfig
+from ..obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -38,14 +39,21 @@ class CapacityError(ValueError):
 class SRFAllocator:
     """LRU allocator over the SRF stream storage."""
 
-    def __init__(self, config: ProcessorConfig):
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.capacity = int(config.srf_capacity_words)
+        self.metrics = metrics
         self._resident: Dict[Hashable, int] = {}
         self._dirty: Set[Hashable] = set()
         self._pinned: Set[Hashable] = set()
         self._last_touch: Dict[Hashable, int] = {}
         self.spill_words = 0
         self.reload_words = 0
+        self.evictions = 0
+        self.peak_words = 0
 
     # --- inspection ------------------------------------------------------
 
@@ -101,6 +109,10 @@ class SRFAllocator:
         self._resident[stream] = words
         if dirty:
             self._dirty.add(stream)
+        if self.used > self.peak_words:
+            self.peak_words = self.used
+            if self.metrics is not None:
+                self.metrics.gauge("srf.peak_words").set(self.peak_words)
         return evictions
 
     def _make_room(self, words: int) -> List[Eviction]:
@@ -125,8 +137,13 @@ class SRFAllocator:
         words = self._resident.pop(stream)
         writeback = stream in self._dirty
         self._dirty.discard(stream)
+        self.evictions += 1
         if writeback:
             self.spill_words += words
+        if self.metrics is not None:
+            self.metrics.counter("srf.evictions").inc()
+            if writeback:
+                self.metrics.counter("srf.spill_words").inc(words)
         return Eviction(stream=stream, words=words, writeback=writeback)
 
     def release(self, stream: Hashable) -> None:
@@ -138,3 +155,5 @@ class SRFAllocator:
     def note_reload(self, words: int) -> None:
         """Account a spilled stream being brought back from memory."""
         self.reload_words += int(words)
+        if self.metrics is not None:
+            self.metrics.counter("srf.reload_words").inc(int(words))

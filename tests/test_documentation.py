@@ -19,6 +19,7 @@ PUBLIC_MODULES = (
     "repro.sim",
     "repro.apps",
     "repro.analysis",
+    "repro.obs",
 )
 
 
