@@ -29,6 +29,11 @@ from .perf import (
     kernel_rate,
     table5_performance_per_area,
 )
+from .sweep import (
+    SweepEngine,
+    clear_sweep_cache,
+    default_engine,
+)
 from .report import (
     format_table,
     render_application_figure,
@@ -51,7 +56,10 @@ __all__ = [
     "HeadlineReport",
     "KernelSpeedupSeries",
     "AnchorResult",
+    "SweepEngine",
     "anchors",
+    "clear_sweep_cache",
+    "default_engine",
     "PowerEstimate",
     "compilation_report",
     "estimate_power",

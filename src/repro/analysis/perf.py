@@ -3,20 +3,25 @@
 Kernel inner-loop rates come from static analysis of compiled kernels
 (the modulo scheduler's initiation intervals), exactly as in the paper's
 section 5.1; application results come from whole-program simulation.
+
+Every grid walk below routes through the shared
+:class:`~repro.analysis.sweep.SweepEngine`, so the figures, Table 5,
+the harmonic-mean headline numbers and ``validate`` all draw on one
+memo cache: the C=8/N=5 baseline is simulated once per process, not
+once per caller, and regenerating a figure twice costs one sweep.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..apps.suite import APPLICATION_ORDER, get_application
-from ..compiler.pipeline import compile_kernel
+from ..apps.suite import APPLICATION_ORDER
 from ..core.config import ProcessorConfig
 from ..core.efficiency import harmonic_mean, performance_per_area
-from ..kernels.suite import PERFORMANCE_SUITE, get_kernel
+from ..kernels.suite import PERFORMANCE_SUITE
 from ..sim.metrics import SimulationResult
-from ..sim.processor import simulate
+from .sweep import SweepEngine, default_engine
 
 #: Paper baseline: every speedup is over the C=8/N=5 (40-ALU) machine.
 BASELINE = (8, 5)
@@ -35,7 +40,7 @@ TABLE5_C_VALUES = (8, 16, 32, 64, 128)
 
 def kernel_rate(name: str, config: ProcessorConfig) -> float:
     """Sustained inner-loop ALU operations per cycle, whole chip."""
-    return compile_kernel(get_kernel(name), config).ops_per_cycle()
+    return default_engine().kernel_rate(name, config)
 
 
 @dataclass(frozen=True)
@@ -67,16 +72,17 @@ def figure14_kernel_speedups(
 def _kernel_speedups(
     configs: Sequence[ProcessorConfig],
 ) -> List[KernelSpeedupSeries]:
+    engine = default_engine()
     baseline = ProcessorConfig(*BASELINE)
     series: List[KernelSpeedupSeries] = []
     per_config_speedups: Dict[ProcessorConfig, List[float]] = {
         c: [] for c in configs
     }
     for name in PERFORMANCE_SUITE:
-        base_rate = kernel_rate(name, baseline)
+        base_rate = engine.kernel_rate(name, baseline)
         points = []
         for config in configs:
-            speedup = kernel_rate(name, config) / base_rate
+            speedup = engine.kernel_rate(name, config) / base_rate
             points.append((config, speedup))
             per_config_speedups[config].append(speedup)
         series.append(KernelSpeedupSeries(kernel=name, points=tuple(points)))
@@ -94,9 +100,10 @@ def _kernel_speedups(
 
 def kernel_harmonic_speedup(config: ProcessorConfig) -> float:
     """Harmonic-mean kernel speedup of ``config`` over the baseline."""
+    engine = default_engine()
     baseline = ProcessorConfig(*BASELINE)
     speedups = [
-        kernel_rate(name, config) / kernel_rate(name, baseline)
+        engine.kernel_rate(name, config) / engine.kernel_rate(name, baseline)
         for name in PERFORMANCE_SUITE
     ]
     return harmonic_mean(speedups)
@@ -104,8 +111,10 @@ def kernel_harmonic_speedup(config: ProcessorConfig) -> float:
 
 def kernel_harmonic_gops(config: ProcessorConfig, clock_ghz: float = 1.0) -> float:
     """Harmonic-mean sustained kernel GOPS of ``config``."""
+    engine = default_engine()
     rates = [
-        kernel_rate(name, config) * clock_ghz for name in PERFORMANCE_SUITE
+        engine.kernel_rate(name, config) * clock_ghz
+        for name in PERFORMANCE_SUITE
     ]
     return harmonic_mean(rates)
 
@@ -119,12 +128,13 @@ def table5_performance_per_area(
     The unit is chosen as in the paper: a processor with the area of
     exactly N bare ALUs sustaining N ops/cycle scores 1.0.
     """
+    engine = default_engine()
     grid: Dict[Tuple[int, int], float] = {}
     for n in n_values:
         for c in c_values:
             config = ProcessorConfig(c, n)
             efficiencies = [
-                performance_per_area(config, kernel_rate(name, config))
+                performance_per_area(config, engine.kernel_rate(name, config))
                 for name in PERFORMANCE_SUITE
             ]
             grid[(c, n)] = harmonic_mean(efficiencies)
@@ -146,16 +156,35 @@ def figure15_application_performance(
     c_values: Sequence[int] = FIG14_C_VALUES,
     n_values: Sequence[int] = FIG15_N_VALUES,
     applications: Sequence[str] = APPLICATION_ORDER,
+    engine: Optional[SweepEngine] = None,
+    workers: Optional[int] = None,
 ) -> List[ApplicationPoint]:
-    """Figure 15: application speedups over C=8/N=5 and sustained GOPS."""
+    """Figure 15: application speedups over C=8/N=5 and sustained GOPS.
+
+    All ``len(applications) * len(n_values) * len(c_values)`` points
+    (plus each application's baseline, built once, not once per grid
+    row) resolve through the sweep cache; pass ``workers`` to fan cold
+    points out over a process pool.  Point values and ordering are
+    identical to a serial, uncached run.
+    """
+    engine = engine if engine is not None else default_engine()
     baseline_config = ProcessorConfig(*BASELINE)
+    grid = [
+        (name, ProcessorConfig(c, n))
+        for name in applications
+        for n in n_values
+        for c in c_values
+    ]
+    wanted = [(name, baseline_config) for name in applications] + grid
+    engine.simulate_many(wanted, workers=workers)
+
     points: List[ApplicationPoint] = []
     for name in applications:
-        baseline = simulate(get_application(name), baseline_config)
+        baseline = engine.simulate_application(name, baseline_config)
         for n in n_values:
             for c in c_values:
                 config = ProcessorConfig(c, n)
-                result = simulate(get_application(name), config)
+                result = engine.simulate_application(name, config)
                 points.append(
                     ApplicationPoint(
                         application=name,
@@ -168,12 +197,20 @@ def figure15_application_performance(
     return points
 
 
-def application_harmonic_speedup(config: ProcessorConfig) -> float:
-    """Harmonic-mean application speedup of ``config`` over the baseline."""
+def application_harmonic_speedup(
+    config: ProcessorConfig, engine: Optional[SweepEngine] = None
+) -> float:
+    """Harmonic-mean application speedup of ``config`` over the baseline.
+
+    The baseline runs resolve through the sweep cache, so repeated
+    calls (the headline reports, ``validate``, Figure 15) simulate the
+    C=8/N=5 machine once per application per process, not per call.
+    """
+    engine = engine if engine is not None else default_engine()
     baseline_config = ProcessorConfig(*BASELINE)
     speedups = []
     for name in APPLICATION_ORDER:
-        baseline = simulate(get_application(name), baseline_config)
-        result = simulate(get_application(name), config)
+        baseline = engine.simulate_application(name, baseline_config)
+        result = engine.simulate_application(name, config)
         speedups.append(result.speedup_over(baseline))
     return harmonic_mean(speedups)

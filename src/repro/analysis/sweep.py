@@ -1,0 +1,263 @@
+"""Memoized, optionally parallel sweep engine for design-space studies.
+
+Every performance regeneration walks the same ``(application, config)``
+and ``(kernel, config)`` grids: Figures 13/14 compile the six suite
+kernels across configurations, Table 5 compiles them again, Figure 15
+simulates the six applications over a ``C x N`` grid, the harmonic-mean
+speedups re-simulate the C=8/N=5 baseline, and ``validate`` runs all of
+the above.  The engine gives those studies one shared, keyed memo cache
+(simulation results and kernel rates), so each distinct point is paid
+for exactly once per process, plus an optional ``concurrent.futures``
+process-pool fan-out for cold grids — with result ordering that is
+byte-identical to a serial run either way.
+
+Instrumentation rides on the PR-1 observability layer: the engine's
+:class:`~repro.obs.profile.PhaseProfiler` accumulates per-point wall
+time and a :class:`~repro.obs.metrics.MetricsRegistry` (optional)
+counts cache hits/misses and observes per-point latency histograms —
+the raw material for the "profile a slow sweep" recipe in
+``docs/performance.md``.
+
+The module-level :func:`default_engine` is what the public functions in
+:mod:`repro.analysis.perf` share; library users embedding sweeps can
+instantiate private engines with their own instrumentation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..apps.suite import get_application
+from ..compiler.pipeline import compile_kernel
+from ..core.config import ProcessorConfig
+from ..core.params import TECH_45NM, TechnologyNode
+from ..kernels.suite import get_kernel
+from ..obs.metrics import MetricsRegistry
+from ..obs.profile import PhaseProfiler
+from ..sim.metrics import SimulationResult
+from ..sim.processor import simulate
+
+__all__ = [
+    "SweepEngine",
+    "SweepPoint",
+    "clear_sweep_cache",
+    "default_engine",
+]
+
+#: One application-simulation grid point: ``(application, config)``.
+SweepPoint = Tuple[str, ProcessorConfig]
+
+_SimKey = Tuple[str, ProcessorConfig, TechnologyNode, float]
+
+
+def _simulate_point(args: Tuple[str, ProcessorConfig, TechnologyNode, float]):
+    """Process-pool worker: one cold simulation (module level so it
+    pickles; each worker process warms its own compile cache)."""
+    application, config, node, clock_ghz = args
+    return simulate(get_application(application), config, node, clock_ghz)
+
+
+class SweepEngine:
+    """Shared memo cache + fan-out for ``simulate``/``compile_kernel``.
+
+    Parameters
+    ----------
+    profiler:
+        Receives ``sweep.simulate`` / ``sweep.kernel_rate`` wall-time
+        phases (one fresh profiler per engine by default).
+    metrics:
+        Optional registry; when present the engine counts
+        ``sweep.sim.{hits,misses}`` / ``sweep.rate.{hits,misses}`` and
+        observes a ``sweep.point_seconds`` histogram per cold point.
+    """
+
+    def __init__(
+        self,
+        profiler: Optional[PhaseProfiler] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.profiler = profiler if profiler is not None else PhaseProfiler()
+        self.metrics = metrics
+        self._sim_cache: Dict[_SimKey, SimulationResult] = {}
+        self._rate_cache: Dict[Tuple[str, ProcessorConfig], float] = {}
+        self.sim_hits = 0
+        self.sim_misses = 0
+        self.rate_hits = 0
+        self.rate_misses = 0
+
+    # --- bookkeeping ---------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every cached result (hit/miss statistics survive)."""
+        self._sim_cache.clear()
+        self._rate_cache.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Cache effectiveness counters, for reports and tests."""
+        return {
+            "sim_hits": self.sim_hits,
+            "sim_misses": self.sim_misses,
+            "rate_hits": self.rate_hits,
+            "rate_misses": self.rate_misses,
+            "sim_cached": len(self._sim_cache),
+            "rate_cached": len(self._rate_cache),
+        }
+
+    def _count(self, name: str, hit: bool) -> None:
+        if name == "sim":
+            if hit:
+                self.sim_hits += 1
+            else:
+                self.sim_misses += 1
+        else:
+            if hit:
+                self.rate_hits += 1
+            else:
+                self.rate_misses += 1
+        if self.metrics is not None:
+            outcome = "hits" if hit else "misses"
+            self.metrics.counter(f"sweep.{name}.{outcome}").inc()
+
+    def _observe_point(self, seconds: float) -> None:
+        if self.metrics is not None:
+            self.metrics.histogram("sweep.point_seconds").observe(seconds)
+
+    # --- memoized primitives -------------------------------------------
+
+    def simulate_application(
+        self,
+        application: str,
+        config: ProcessorConfig,
+        node: TechnologyNode = TECH_45NM,
+        clock_ghz: float = 1.0,
+    ) -> SimulationResult:
+        """``simulate(get_application(application), config)``, memoized.
+
+        The application program is only rebuilt (and the simulator only
+        run) on a cache miss; results are deterministic, so a cached
+        result is indistinguishable from a fresh one.
+        """
+        key = (application, config, node, clock_ghz)
+        cached = self._sim_cache.get(key)
+        if cached is not None:
+            self._count("sim", hit=True)
+            return cached
+        self._count("sim", hit=False)
+        with self.profiler.phase("sweep.simulate"):
+            started = time.perf_counter()
+            result = simulate(
+                get_application(application),
+                config,
+                node,
+                clock_ghz,
+                profiler=self.profiler,
+            )
+            self._observe_point(time.perf_counter() - started)
+        self._sim_cache[key] = result
+        return result
+
+    def kernel_rate(self, kernel: str, config: ProcessorConfig) -> float:
+        """Sustained whole-chip ops/cycle of a suite kernel, memoized.
+
+        Sits above the compiler's own schedule cache: a hit skips the
+        machine-description build and cache-key construction too.
+        """
+        key = (kernel, config)
+        cached = self._rate_cache.get(key)
+        if cached is not None:
+            self._count("rate", hit=True)
+            return cached
+        self._count("rate", hit=False)
+        with self.profiler.phase("sweep.kernel_rate"):
+            rate = compile_kernel(get_kernel(kernel), config).ops_per_cycle()
+        self._rate_cache[key] = rate
+        return rate
+
+    # --- grid fan-out ---------------------------------------------------
+
+    def simulate_many(
+        self,
+        points: Sequence[SweepPoint],
+        node: TechnologyNode = TECH_45NM,
+        clock_ghz: float = 1.0,
+        workers: Optional[int] = None,
+    ) -> List[SimulationResult]:
+        """Simulate a grid of points; results in input order.
+
+        Cached points are served from the memo cache; the cold ones run
+        serially, or across a process pool when ``workers`` asks for
+        more than one.  Ordering and values are identical either way
+        (the simulator is deterministic), and every result lands in the
+        cache for later single-point lookups.  If the platform cannot
+        spawn worker processes the engine degrades to the serial path
+        rather than failing the sweep.
+        """
+        missing: List[SweepPoint] = []
+        seen = set()
+        for application, config in points:
+            key = (application, config, node, clock_ghz)
+            if key not in self._sim_cache and key not in seen:
+                seen.add(key)
+                missing.append((application, config))
+
+        if missing and workers is not None and workers > 1:
+            self._fan_out(missing, node, clock_ghz, workers)
+        for application, config in missing:
+            # Serial fill for whatever the pool did not cover (all of
+            # it when workers is None or pool startup failed).
+            self.simulate_application(application, config, node, clock_ghz)
+
+        return [
+            self.simulate_application(application, config, node, clock_ghz)
+            for application, config in points
+        ]
+
+    def _fan_out(
+        self,
+        missing: Sequence[SweepPoint],
+        node: TechnologyNode,
+        clock_ghz: float,
+        workers: int,
+    ) -> None:
+        """Fill the cache for ``missing`` from a process pool."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        jobs = [
+            (application, config, node, clock_ghz)
+            for application, config in missing
+        ]
+        started = time.perf_counter()
+        try:
+            with self.profiler.phase("sweep.fan_out"):
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(jobs))
+                ) as pool:
+                    results = list(pool.map(_simulate_point, jobs))
+        except Exception:
+            # Sandboxes without fork/spawn, unpicklable platforms...
+            # the serial pass in simulate_many() still computes every
+            # point, so a failed pool only costs time, never results.
+            if self.metrics is not None:
+                self.metrics.counter("sweep.fan_out.failures").inc()
+            return
+        for (application, config), result in zip(missing, results):
+            self._sim_cache[(application, config, node, clock_ghz)] = result
+            self._count("sim", hit=False)
+            self._observe_point(
+                (time.perf_counter() - started) / len(jobs)
+            )
+
+
+_DEFAULT_ENGINE = SweepEngine()
+
+
+def default_engine() -> SweepEngine:
+    """The process-wide engine the :mod:`repro.analysis.perf` grids share."""
+    return _DEFAULT_ENGINE
+
+
+def clear_sweep_cache() -> None:
+    """Drop the shared engine's memoized results (benchmarks use this
+    to measure cold regenerations)."""
+    _DEFAULT_ENGINE.clear()

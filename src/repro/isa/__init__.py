@@ -1,7 +1,8 @@
 """Kernel intermediate representation (the paper's KernelC substitute)."""
 
-from .interp import InterpreterError, KernelInterpreter
+from .interp import BACKENDS, InterpreterError, KernelInterpreter
 from .kernel import KernelGraph, Node, Recurrence, Value
+from .vector import VectorUnsupported, unsupported_reason
 from .microcode import MicrocodeFootprint, instruction_word_bits, kernel_footprint
 from .ops import FUClass, OpCounts, Opcode
 from .values import (
@@ -19,8 +20,11 @@ from .values import (
 
 __all__ = [
     "AccessPattern",
+    "BACKENDS",
     "COMPLEX",
     "InterpreterError",
+    "VectorUnsupported",
+    "unsupported_reason",
     "KernelInterpreter",
     "DataType",
     "FRAGMENT",

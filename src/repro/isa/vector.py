@@ -1,0 +1,533 @@
+"""Vectorized (numpy) execution backend for the kernel interpreter.
+
+The paper's execution model is SIMD lockstep: ``C`` clusters execute the
+same VLIW word every cycle on ``C`` different stream elements.  The
+scalar interpreter emulates that with a Python-level loop over clusters,
+so its cost grows linearly in ``C`` at Python speed.  This module
+executes the same kernel graphs with every SSA value held as a
+length-``C`` numpy array (one element per cluster), which makes the
+per-cluster loop a single array operation — the software analogue of the
+lane-parallel datapaths that give vector machines their throughput.
+
+Two execution strategies share the opcode implementations:
+
+* **stepped** — one pass over the graph per loop iteration, values of
+  shape ``(C,)``.  Handles every construct: scratchpad writes mutate a
+  dense ``(C, capacity)`` array, loop-carried recurrences latch arrays
+  between iterations.
+* **batched** — a single pass over the graph for *all* iterations,
+  values of shape ``(iterations, C)``.  Legal whenever the kernel has no
+  loop-carried state (no recurrences, no scratchpad writes); stream
+  reads become block slices of the reshaped input and conditional writes
+  compact with one boolean mask over the whole run.
+
+Either way, ``SB_READ`` never pops scalars: inputs are padded and
+reshaped up front into ``(iterations, C, R)`` blocks (``R`` words of the
+record per cluster per iteration), exactly the strip-mined layout of
+paper section 2.2.
+
+Semantics match the scalar interpreter bit for bit on float64 data: the
+arithmetic tables below mirror :data:`repro.isa.interp._ARITHMETIC`
+operation by operation (IEEE-754 double arithmetic is identical whether
+issued from Python floats or numpy arrays).  Constructs the array path
+cannot honor — currently only scratchpad addresses outside
+``[0, SCRATCHPAD_LIMIT)`` — raise :class:`VectorUnsupported` *before*
+any architectural state is written back, so ``backend="auto"`` can rerun
+the same inputs on the scalar path and get the exact scalar answer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .kernel import KernelGraph
+from .ops import Opcode
+
+__all__ = [
+    "SCRATCHPAD_LIMIT",
+    "VectorUnsupported",
+    "unsupported_reason",
+    "run_vectorized",
+]
+
+#: Upper bound on scratchpad addresses the dense backing array will grow
+#: to.  Real kernels index tables of at most a few hundred words; an
+#: address beyond this is either a bug or a construct the dense layout
+#: should not try to honor — the engine falls back to the scalar path.
+SCRATCHPAD_LIMIT = 1 << 16
+
+
+class VectorUnsupported(Exception):
+    """The kernel (or this run's data) needs the scalar interpreter."""
+
+
+def unsupported_reason(kernel: KernelGraph) -> Optional[str]:
+    """Static reason this kernel cannot run vectorized, or ``None``.
+
+    Every current opcode has an array implementation, so this only
+    trips for opcodes added later without a vector lowering.
+    """
+    for node in kernel.nodes:
+        if node.opcode not in _SUPPORTED:
+            return f"opcode {node.opcode.mnemonic!r} has no vector lowering"
+    return None
+
+
+# --- arithmetic lowering ------------------------------------------------
+#
+# Each entry mirrors one _ARITHMETIC lambda in interp.py.  ``a`` and
+# ``b`` are float64 arrays (any broadcastable shape); results are new
+# float64 arrays.  Truncation toward zero (Python ``int()``) is
+# ``np.trunc``; Python's ``>> 8`` on the truncated integer floors, hence
+# trunc-then-floor for SHIFT.
+
+
+def _v_imul(a, b):
+    return np.trunc(a) * np.trunc(b)
+
+
+def _v_shift(a, _b):
+    return np.floor(np.trunc(a) / 256.0)
+
+
+def _v_logic(a, _b):
+    return (np.trunc(a).astype(np.int64) & 0xFFFF).astype(np.float64)
+
+
+def _v_cmp(a, b):
+    return (a < b).astype(np.float64)
+
+
+def _v_select(a, b):
+    return np.where(a != 0.0, b, 0.0)
+
+
+def _v_fdiv(a, b):
+    zero = b == 0.0
+    return np.where(zero, math.inf, a / np.where(zero, 1.0, b))
+
+
+def _v_fsqrt(a, _b):
+    return np.sqrt(np.abs(a))
+
+
+_VECTOR_ARITHMETIC = {
+    Opcode.IADD: lambda a, b: a + b,
+    Opcode.ISUB: lambda a, b: a - b,
+    Opcode.IMUL: _v_imul,
+    Opcode.IABS: lambda a, _b: np.abs(a),
+    Opcode.IMIN: lambda a, b: np.minimum(a, b),
+    Opcode.IMAX: lambda a, b: np.maximum(a, b),
+    Opcode.SHIFT: _v_shift,
+    Opcode.LOGIC: _v_logic,
+    Opcode.ICMP: _v_cmp,
+    Opcode.SELECT: _v_select,
+    Opcode.FADD: lambda a, b: a + b,
+    Opcode.FSUB: lambda a, b: a - b,
+    Opcode.FMUL: lambda a, b: a * b,
+    Opcode.FDIV: _v_fdiv,
+    Opcode.FSQRT: _v_fsqrt,
+    Opcode.FCMP: _v_cmp,
+    Opcode.FABS: lambda a, _b: np.abs(a),
+    Opcode.FMIN: lambda a, b: np.minimum(a, b),
+    Opcode.FMAX: lambda a, b: np.maximum(a, b),
+    Opcode.FFRAC: lambda a, _b: a - np.floor(a),
+    Opcode.FFLOOR: lambda a, _b: np.floor(a),
+    Opcode.ITOF: lambda a, _b: a,
+    Opcode.FTOI: lambda a, _b: np.trunc(a),
+}
+
+_STRUCTURAL = {
+    Opcode.CONST,
+    Opcode.LOOPVAR,
+    Opcode.SB_READ,
+    Opcode.COND_READ,
+    Opcode.SB_WRITE,
+    Opcode.COND_WRITE,
+    Opcode.SP_READ,
+    Opcode.SP_WRITE,
+    Opcode.COMM_PERM,
+    Opcode.COMM_BCAST,
+}
+
+_SUPPORTED = _STRUCTURAL | set(_VECTOR_ARITHMETIC)
+
+
+# --- stream staging ----------------------------------------------------
+
+
+def _stage_inputs(
+    streams: Dict[str, Sequence[float]],
+    reads: Dict[str, int],
+    clusters: int,
+    iterations: int,
+) -> Dict[str, np.ndarray]:
+    """Reshape each input into an ``(iterations, C, R)`` block.
+
+    Word ``(i*C + k)*R + r`` of the flat stream — what the scalar path
+    pops one at a time — lands at ``block[i, k, r]``.  Streams shorter
+    than the run (the ragged last batch, or conditional-read streams the
+    iteration count does not gate) are padded with the scalar path's
+    0.0.
+    """
+    blocks: Dict[str, np.ndarray] = {}
+    for name, record in reads.items():
+        seq = streams.get(name)
+        if seq is None:
+            # The scalar path raises on first access; match it lazily at
+            # evaluation so error behavior (and text) stays identical.
+            continue
+        needed = iterations * clusters * record
+        data = np.asarray(seq, dtype=np.float64)
+        if data.ndim != 1:
+            data = data.reshape(-1)
+        if data.shape[0] < needed:
+            padded = np.zeros(needed, dtype=np.float64)
+            padded[: data.shape[0]] = data
+            data = padded
+        blocks[name] = data[:needed].reshape(iterations, clusters, record)
+    return blocks
+
+
+def _predicate_index(kernel: KernelGraph) -> Optional[int]:
+    """Node index of the conditional-stream predicate (last ICMP/FCMP)."""
+    for node in reversed(kernel.nodes):
+        if node.opcode in (Opcode.ICMP, Opcode.FCMP):
+            return node.index
+    return None
+
+
+# --- the engine --------------------------------------------------------
+
+
+class _VectorRun:
+    """One vectorized execution over staged inputs.
+
+    Works on *copies* of the interpreter's architectural state
+    (scratchpads, loop-carried values); :meth:`commit` writes the final
+    state back only after the whole run succeeded, so a mid-run
+    :class:`VectorUnsupported` leaves the interpreter untouched for the
+    scalar retry.
+    """
+
+    def __init__(self, interp, streams, iterations: int, reads):
+        self.interp = interp
+        self.kernel: KernelGraph = interp.kernel
+        self.clusters: int = interp.clusters
+        self.iterations = iterations
+        self.reads = reads
+        self.blocks = _stage_inputs(streams, reads, self.clusters, iterations)
+        self.streams = streams
+        self.pred_index = _predicate_index(self.kernel)
+        self._carried_targets = interp._carried_targets
+        self._lanes = np.arange(self.clusters)
+        self._import_state()
+        #: Output fragments per stream, appended in emission order.
+        self._out: Dict[str, List[np.ndarray]] = {}
+
+    # -- state marshalling ---------------------------------------------
+
+    def _import_state(self) -> None:
+        """Copy dict-based scratchpads / carried values into arrays."""
+        capacity = 0
+        for state in self.interp.states:
+            if state.scratchpad:
+                top = max(state.scratchpad)
+                if top >= SCRATCHPAD_LIMIT:
+                    raise VectorUnsupported(
+                        f"scratchpad address {top} exceeds the dense "
+                        f"layout limit {SCRATCHPAD_LIMIT}"
+                    )
+                if min(state.scratchpad) < 0:
+                    raise VectorUnsupported(
+                        "negative scratchpad addresses in preloaded state"
+                    )
+                capacity = max(capacity, top + 1)
+        self.scratch = np.zeros((self.clusters, capacity), dtype=np.float64)
+        for k, state in enumerate(self.interp.states):
+            for address, value in state.scratchpad.items():
+                self.scratch[k, address] = value
+        self.carried: Dict[int, np.ndarray] = {}
+        for target in self._carried_targets:
+            row = np.zeros(self.clusters, dtype=np.float64)
+            present = False
+            for k in range(self.clusters):
+                value = self.interp._carried.get((target, k))
+                if value is not None:
+                    row[k] = value
+                    present = True
+            if present:
+                self.carried[target] = row
+
+    def commit(self) -> Dict[str, List[float]]:
+        """Write state back to the interpreter; return flat outputs."""
+        for k, state in enumerate(self.interp.states):
+            for address in range(self.scratch.shape[1]):
+                state.scratchpad[address] = float(self.scratch[k, address])
+        for target, row in self.carried.items():
+            for k in range(self.clusters):
+                self.interp._carried[(target, k)] = float(row[k])
+        outputs: Dict[str, List[float]] = {}
+        for name, parts in self._out.items():
+            if parts:
+                outputs[name] = np.concatenate(parts).tolist()
+            else:
+                outputs[name] = []
+        return outputs
+
+    # -- shared helpers -------------------------------------------------
+
+    def _read_block(self, name: str, ordinal: int) -> np.ndarray:
+        """All iterations of one read slot: shape ``(iterations, C)``."""
+        block = self.blocks.get(name)
+        if block is None:
+            from .interp import InterpreterError
+
+            raise InterpreterError(f"missing input stream {name!r}")
+        return block[:, :, ordinal]
+
+    def _grow_scratch(self, top: int) -> None:
+        if top >= SCRATCHPAD_LIMIT:
+            raise VectorUnsupported(
+                f"scratchpad address {top} exceeds the dense layout "
+                f"limit {SCRATCHPAD_LIMIT}"
+            )
+        if top >= self.scratch.shape[1]:
+            grown = np.zeros((self.clusters, top + 1), dtype=np.float64)
+            grown[:, : self.scratch.shape[1]] = self.scratch
+            self.scratch = grown
+
+    @staticmethod
+    def _addresses(raw: np.ndarray) -> np.ndarray:
+        return np.trunc(raw).astype(np.int64)
+
+    def _emit(self, name: str, fragment: np.ndarray) -> None:
+        self._out.setdefault(name, []).append(fragment)
+
+    # -- batched execution ---------------------------------------------
+
+    def can_batch(self) -> bool:
+        """Whole-run batching is legal without loop-carried state.
+
+        Scratchpad *reads* batch fine (the preloaded table is
+        invariant); writes and recurrences serialize iterations.
+        """
+        if self.kernel.recurrences:
+            return False
+        return all(
+            node.opcode is not Opcode.SP_WRITE for node in self.kernel.nodes
+        )
+
+    def run_batched(self) -> None:
+        """One pass over the graph; values are ``(iterations, C)``."""
+        iters, clusters = self.iterations, self.clusters
+        values: List[Optional[np.ndarray]] = [None] * len(self.kernel.nodes)
+        ordinal: Dict[str, int] = {}
+        shape = (iters, clusters)
+        # Streams written by several nodes interleave fragments per
+        # iteration (the scalar path emits in node order within each
+        # iteration); single-writer streams flatten in one shot.
+        writers: Dict[str, List] = {}
+        for node in self.kernel.nodes:
+            if node.opcode in (Opcode.SB_WRITE, Opcode.COND_WRITE):
+                writers.setdefault(node.name, []).append(node)
+
+        for node in self.kernel.nodes:
+            op = node.opcode
+            if op is Opcode.CONST:
+                value = np.full(shape, self.interp._const_value(node))
+            elif op is Opcode.LOOPVAR:
+                value = np.broadcast_to(
+                    np.arange(iters, dtype=np.float64)[:, None], shape
+                )
+            elif op in (Opcode.SB_READ, Opcode.COND_READ):
+                slot = ordinal.get(node.name, 0)
+                ordinal[node.name] = slot + 1
+                value = self._read_block(node.name, slot)
+            elif op in (Opcode.SB_WRITE, Opcode.COND_WRITE):
+                value = values[node.operands[0]]
+            elif op is Opcode.SP_READ:
+                value = self._sp_gather(values[node.operands[0]])
+            elif op is Opcode.COMM_PERM:
+                value = np.roll(values[node.operands[0]], -1, axis=1)
+            elif op is Opcode.COMM_BCAST:
+                value = np.broadcast_to(
+                    values[node.operands[0]][:, :1], shape
+                )
+            else:
+                value = self._arith(node, values)
+            values[node.index] = value
+
+        mask = None
+        if any(
+            node.opcode is Opcode.COND_WRITE
+            for nodes in writers.values()
+            for node in nodes
+        ):
+            mask = self._batched_mask(values)
+        for name, nodes in writers.items():
+            self._emit_batched(name, nodes, values, mask)
+
+    def _batched_mask(self, values) -> np.ndarray:
+        if self.pred_index is None:
+            return np.ones((self.iterations, self.clusters), dtype=bool)
+        return values[self.pred_index].astype(bool)
+
+    def _emit_batched(self, name, nodes, values, mask) -> None:
+        if len(nodes) == 1 and nodes[0].opcode is Opcode.SB_WRITE:
+            self._emit(name, values[nodes[0].index].reshape(-1))
+            return
+        if len(nodes) == 1:
+            # Boolean indexing of an (iterations, C) array flattens in
+            # row-major order: iteration-major, cluster order within —
+            # exactly the scalar compaction order.
+            self._emit(name, values[nodes[0].index][mask])
+            return
+        if all(node.opcode is Opcode.SB_WRITE for node in nodes):
+            stacked = np.stack(
+                [values[node.index] for node in nodes], axis=1
+            )  # (iterations, writers, C)
+            self._emit(name, stacked.reshape(-1))
+            return
+        # Mixed / multiple conditional writers: assemble per iteration
+        # so fragments interleave in node order, as the scalar path does.
+        for i in range(self.iterations):
+            for node in nodes:
+                row = values[node.index][i]
+                if node.opcode is Opcode.COND_WRITE:
+                    row = row[mask[i]]
+                self._emit(name, row)
+
+    def _sp_gather(self, raw_addresses: np.ndarray) -> np.ndarray:
+        """Masked fancy-indexed gather; out-of-range reads return 0.0."""
+        addresses = self._addresses(raw_addresses)
+        capacity = self.scratch.shape[1]
+        if capacity == 0:
+            # Reading an untouched scratchpad: every address misses.
+            return np.zeros(raw_addresses.shape, dtype=np.float64)
+        valid = (addresses >= 0) & (addresses < capacity)
+        safe = np.where(valid, addresses, 0)
+        if raw_addresses.ndim == 2:
+            gathered = self.scratch[self._lanes[None, :], safe]
+        else:
+            gathered = self.scratch[self._lanes, safe]
+        return np.where(valid, gathered, 0.0)
+
+    def _arith(self, node, values) -> np.ndarray:
+        fn = _VECTOR_ARITHMETIC.get(node.opcode)
+        if fn is None:
+            raise VectorUnsupported(
+                f"opcode {node.opcode.mnemonic!r} has no vector lowering"
+            )
+        a = values[node.operands[0]] if node.operands else 0.0
+        if len(node.operands) > 1:
+            b = values[node.operands[1]]
+        elif node.index in self._carried_targets:
+            b = self.carried.get(node.index, 0.0)
+        else:
+            b = 0.0
+        return fn(a, b)
+
+    # -- stepped execution ---------------------------------------------
+
+    def run_stepped(self) -> None:
+        """One graph pass per iteration; values are ``(C,)`` arrays."""
+        clusters = self.clusters
+        nodes = self.kernel.nodes
+        # Pre-resolve per-node read slots so the hot loop does no dict
+        # bookkeeping.
+        slots: List[int] = [0] * len(nodes)
+        ordinal: Dict[str, int] = {}
+        for node in nodes:
+            if node.opcode in (Opcode.SB_READ, Opcode.COND_READ):
+                slots[node.index] = ordinal.get(node.name, 0)
+                ordinal[node.name] = slots[node.index] + 1
+        consts = {
+            node.index: np.full(clusters, self.interp._const_value(node))
+            for node in nodes
+            if node.opcode is Opcode.CONST
+        }
+        read_blocks = {
+            node.index: self._read_block(node.name, slots[node.index])
+            for node in nodes
+            if node.opcode in (Opcode.SB_READ, Opcode.COND_READ)
+        }
+
+        for i in range(self.iterations):
+            values: List[Optional[np.ndarray]] = [None] * len(nodes)
+            for node in nodes:
+                op = node.opcode
+                if op is Opcode.CONST:
+                    value = consts[node.index]
+                elif op is Opcode.LOOPVAR:
+                    value = np.full(clusters, float(i))
+                elif op in (Opcode.SB_READ, Opcode.COND_READ):
+                    value = read_blocks[node.index][i]
+                elif op in (Opcode.SB_WRITE, Opcode.COND_WRITE):
+                    value = values[node.operands[0]]
+                elif op is Opcode.SP_READ:
+                    value = self._sp_gather(values[node.operands[0]])
+                elif op is Opcode.SP_WRITE:
+                    value = self._sp_scatter(node, values)
+                elif op is Opcode.COMM_PERM:
+                    value = np.roll(values[node.operands[0]], -1)
+                elif op is Opcode.COMM_BCAST:
+                    value = np.full(
+                        clusters, values[node.operands[0]][0]
+                    )
+                else:
+                    value = self._arith(node, values)
+                values[node.index] = value
+
+                if op in (Opcode.SB_WRITE, Opcode.COND_WRITE):
+                    written = values[node.operands[0]]
+                    if op is Opcode.COND_WRITE:
+                        written = written[self._stepped_mask(values)]
+                    self._emit(node.name, written)
+
+            for target, source in self._carried_targets.items():
+                self.carried[target] = values[source].copy()
+
+    def _stepped_mask(self, values) -> np.ndarray:
+        if self.pred_index is None:
+            return np.ones(self.clusters, dtype=bool)
+        return values[self.pred_index].astype(bool)
+
+    def _sp_scatter(self, node, values) -> np.ndarray:
+        raw, written = values[node.operands[0]], values[node.operands[1]]
+        addresses = self._addresses(raw)
+        if addresses.size and addresses.min() < 0:
+            raise VectorUnsupported(
+                "negative scratchpad write address needs the sparse "
+                "scalar scratchpad"
+            )
+        if addresses.size:
+            self._grow_scratch(int(addresses.max()))
+            self.scratch[self._lanes, addresses] = written
+        return written
+
+
+def run_vectorized(
+    interp, streams, iterations: int, reads
+) -> Dict[str, List[float]]:
+    """Execute one kernel run on the vector backend.
+
+    Called by :meth:`repro.isa.interp.KernelInterpreter.run`; raises
+    :class:`VectorUnsupported` (interpreter state untouched) when the
+    kernel or its runtime data needs the scalar path.
+    """
+    reason = unsupported_reason(interp.kernel)
+    if reason is not None:
+        raise VectorUnsupported(reason)
+    run = _VectorRun(interp, streams, iterations, reads)
+    # Scalar float math never warns; array math would (divide-by-zero
+    # produces the same inf either way) — keep runs warning-silent.
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        if run.can_batch():
+            run.run_batched()
+        else:
+            run.run_stepped()
+    return run.commit()

@@ -24,6 +24,7 @@ from ..compiler.pipeline import compile_kernel
 from ..core.config import ProcessorConfig
 from ..core.params import TECH_45NM, TechnologyNode
 from ..obs.metrics import MetricsRegistry
+from ..obs.profile import PhaseProfiler
 from ..obs.tracer import NULL_TRACER, Tracer
 from .cluster import ClusterArray
 from .events import DEFAULT_MAX_EVENTS, EventQueue
@@ -58,6 +59,7 @@ class StreamProcessor:
         tracer: Tracer = NULL_TRACER,
         metrics: Optional[MetricsRegistry] = None,
         max_events: int = DEFAULT_MAX_EVENTS,
+        profiler: Optional[PhaseProfiler] = None,
     ):
         self.config = config
         self.node = node
@@ -65,6 +67,11 @@ class StreamProcessor:
         self.tracer = tracer
         self.metrics = metrics
         self.max_events = max_events
+        #: Wall-clock profiler charged with ``sim.compile`` (kernel
+        #: scheduling inside the run, cache misses only in practice)
+        #: when present; sweeps use it to tell compile time from
+        #: simulation time without touching simulated results.
+        self.profiler = profiler
         self.memory = MemorySystem(config, node, clock_ghz, tracer)
         self.host = Host(node, clock_ghz, tracer=tracer)
         self.clusters = ClusterArray(config, tracer)
@@ -234,7 +241,11 @@ class StreamProcessor:
         return transfer.data_ready
 
     def _run_kernel(self, op: KernelCall, i: int, ready: int, last_use) -> int:
-        schedule = compile_kernel(op.kernel, self.config)
+        if self.profiler is not None:
+            with self.profiler.phase("sim.compile"):
+                schedule = compile_kernel(op.kernel, self.config)
+        else:
+            schedule = compile_kernel(op.kernel, self.config)
         start = ready
 
         # Bring spilled inputs back from memory.
@@ -293,13 +304,19 @@ def simulate(
     tracer: Tracer = NULL_TRACER,
     metrics: Optional[MetricsRegistry] = None,
     max_events: int = DEFAULT_MAX_EVENTS,
+    profiler: Optional[PhaseProfiler] = None,
 ) -> SimulationResult:
     """Convenience wrapper: run ``program`` on a fresh processor."""
-    return StreamProcessor(
+    processor = StreamProcessor(
         config,
         node,
         clock_ghz,
         tracer=tracer,
         metrics=metrics,
         max_events=max_events,
-    ).run(program)
+        profiler=profiler,
+    )
+    if profiler is not None:
+        with profiler.phase("sim.run"):
+            return processor.run(program)
+    return processor.run(program)

@@ -1,0 +1,202 @@
+"""Tests for the memoized sweep engine and its perf.py integration."""
+
+import pytest
+
+from repro.analysis.perf import (
+    BASELINE,
+    application_harmonic_speedup,
+    figure15_application_performance,
+    kernel_rate,
+)
+from repro.analysis.sweep import SweepEngine, clear_sweep_cache, default_engine
+from repro.apps.suite import APPLICATION_ORDER, get_application
+from repro.compiler.pipeline import compile_kernel
+from repro.core.config import ProcessorConfig
+from repro.kernels.suite import get_kernel
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.processor import simulate
+
+SMALL_APPS = ("fft1k", "depth")
+SMALL_CONFIGS = (ProcessorConfig(8, 5), ProcessorConfig(16, 5))
+
+
+class TestMemoization:
+    def test_simulation_cached(self):
+        engine = SweepEngine()
+        first = engine.simulate_application("fft1k", ProcessorConfig(8, 5))
+        second = engine.simulate_application("fft1k", ProcessorConfig(8, 5))
+        assert second is first  # served from cache, not recomputed
+        stats = engine.stats()
+        assert stats["sim_misses"] == 1
+        assert stats["sim_hits"] == 1
+        assert stats["sim_cached"] == 1
+
+    def test_distinct_keys_not_conflated(self):
+        engine = SweepEngine()
+        base = engine.simulate_application("fft1k", ProcessorConfig(8, 5))
+        other_config = engine.simulate_application(
+            "fft1k", ProcessorConfig(16, 5)
+        )
+        other_clock = engine.simulate_application(
+            "fft1k", ProcessorConfig(8, 5), clock_ghz=2.0
+        )
+        assert other_config.cycles != base.cycles
+        assert other_clock.clock_ghz != base.clock_ghz
+        assert engine.stats()["sim_misses"] == 3
+
+    def test_cached_result_matches_direct_simulate(self):
+        engine = SweepEngine()
+        config = ProcessorConfig(8, 5)
+        via_engine = engine.simulate_application("fft1k", config)
+        direct = simulate(get_application("fft1k"), config)
+        assert via_engine == direct
+
+    def test_kernel_rate_cached(self):
+        engine = SweepEngine()
+        config = ProcessorConfig(8, 5)
+        rate = engine.kernel_rate("convolve", config)
+        again = engine.kernel_rate("convolve", config)
+        assert again == rate
+        expected = compile_kernel(
+            get_kernel("convolve"), config
+        ).ops_per_cycle()
+        assert rate == expected
+        stats = engine.stats()
+        assert stats["rate_misses"] == 1
+        assert stats["rate_hits"] == 1
+
+    def test_clear_drops_results_keeps_stats(self):
+        engine = SweepEngine()
+        engine.simulate_application("fft1k", ProcessorConfig(8, 5))
+        engine.clear()
+        assert engine.stats()["sim_cached"] == 0
+        engine.simulate_application("fft1k", ProcessorConfig(8, 5))
+        assert engine.stats()["sim_misses"] == 2
+
+
+class TestSimulateMany:
+    def grid(self):
+        return [
+            (app, config) for app in SMALL_APPS for config in SMALL_CONFIGS
+        ]
+
+    def test_results_in_input_order(self):
+        engine = SweepEngine()
+        points = self.grid()
+        results = engine.simulate_many(points)
+        for (app, config), result in zip(points, results):
+            assert result.program == get_application(app).name
+            assert result.config == config
+
+    def test_duplicates_simulated_once(self):
+        engine = SweepEngine()
+        points = self.grid() + self.grid()
+        results = engine.simulate_many(points)
+        assert len(results) == len(points)
+        assert engine.stats()["sim_misses"] == len(self.grid())
+
+    def test_parallel_matches_serial(self):
+        serial = SweepEngine().simulate_many(self.grid())
+        parallel = SweepEngine().simulate_many(self.grid(), workers=2)
+        assert parallel == serial
+
+
+class TestPerfIntegration:
+    def test_figure15_matches_direct_simulation(self):
+        """Grid values and ordering are byte-identical to naive nested
+        simulate() calls."""
+        engine = SweepEngine()
+        points = figure15_application_performance(
+            c_values=(8, 16),
+            n_values=(5,),
+            applications=SMALL_APPS,
+            engine=engine,
+        )
+        baseline_config = ProcessorConfig(*BASELINE)
+        expected = []
+        for app in SMALL_APPS:
+            baseline = simulate(get_application(app), baseline_config)
+            for c in (8, 16):
+                config = ProcessorConfig(c, 5)
+                result = simulate(get_application(app), config)
+                expected.append(
+                    (app, config, result.speedup_over(baseline), result.gops)
+                )
+        got = [
+            (p.application, p.config, p.speedup, p.gops) for p in points
+        ]
+        assert got == expected
+
+    def test_figure15_warm_repeat_is_all_hits(self):
+        engine = SweepEngine()
+        first = figure15_application_performance(
+            c_values=(8, 16),
+            n_values=(5,),
+            applications=SMALL_APPS,
+            engine=engine,
+        )
+        misses = engine.stats()["sim_misses"]
+        second = figure15_application_performance(
+            c_values=(8, 16),
+            n_values=(5,),
+            applications=SMALL_APPS,
+            engine=engine,
+        )
+        assert second == first
+        assert engine.stats()["sim_misses"] == misses  # no new work
+
+    def test_harmonic_speedup_shares_baselines(self):
+        """Repeated harmonic-speedup calls re-simulate only the new
+        configuration, never the baselines."""
+        engine = SweepEngine()
+        application_harmonic_speedup(ProcessorConfig(16, 5), engine=engine)
+        misses = engine.stats()["sim_misses"]
+        assert misses == 2 * len(APPLICATION_ORDER)
+        application_harmonic_speedup(ProcessorConfig(32, 5), engine=engine)
+        assert (
+            engine.stats()["sim_misses"] == misses + len(APPLICATION_ORDER)
+        )
+
+    def test_default_engine_backs_module_functions(self):
+        clear_sweep_cache()
+        engine = default_engine()
+        before = engine.stats()["rate_misses"]
+        config = ProcessorConfig(8, 5)
+        kernel_rate("convolve", config)
+        kernel_rate("convolve", config)
+        after = engine.stats()
+        assert after["rate_misses"] == before + 1
+        assert after["rate_hits"] >= 1
+
+
+class TestInstrumentation:
+    def test_profiler_phases_accumulate(self):
+        engine = SweepEngine()
+        engine.simulate_application("fft1k", ProcessorConfig(8, 5))
+        engine.kernel_rate("convolve", ProcessorConfig(8, 5))
+        profiler = engine.profiler
+        assert profiler.calls("sweep.simulate") == 1
+        assert profiler.seconds("sweep.simulate") > 0.0
+        assert profiler.calls("sweep.kernel_rate") == 1
+        # simulate() charges its inner phases to the same profiler.
+        assert profiler.calls("sim.run") == 1
+        assert profiler.calls("sim.compile") >= 1
+
+    def test_metrics_counters_and_histogram(self):
+        metrics = MetricsRegistry()
+        engine = SweepEngine(metrics=metrics)
+        config = ProcessorConfig(8, 5)
+        engine.simulate_application("fft1k", config)
+        engine.simulate_application("fft1k", config)
+        engine.kernel_rate("convolve", config)
+        snapshot = metrics.snapshot().as_dict()
+        assert snapshot["sweep.sim.misses"] == 1
+        assert snapshot["sweep.sim.hits"] == 1
+        assert snapshot["sweep.rate.misses"] == 1
+        assert snapshot["sweep.point_seconds.count"] == 1
+        assert snapshot["sweep.point_seconds.total"] > 0.0
+
+    def test_uninstrumented_engine_has_no_metrics(self):
+        engine = SweepEngine()
+        assert engine.metrics is None
+        engine.simulate_application("fft1k", ProcessorConfig(8, 5))
