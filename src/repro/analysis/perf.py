@@ -74,6 +74,13 @@ def _kernel_speedups(
 ) -> List[KernelSpeedupSeries]:
     engine = default_engine()
     baseline = ProcessorConfig(*BASELINE)
+    engine.compile_kernels(
+        [
+            (name, config)
+            for name in PERFORMANCE_SUITE
+            for config in [baseline, *configs]
+        ]
+    )
     series: List[KernelSpeedupSeries] = []
     per_config_speedups: Dict[ProcessorConfig, List[float]] = {
         c: [] for c in configs
@@ -129,6 +136,14 @@ def table5_performance_per_area(
     exactly N bare ALUs sustaining N ops/cycle scores 1.0.
     """
     engine = default_engine()
+    engine.compile_kernels(
+        [
+            (name, ProcessorConfig(c, n))
+            for name in PERFORMANCE_SUITE
+            for n in n_values
+            for c in c_values
+        ]
+    )
     grid: Dict[Tuple[int, int], float] = {}
     for n in n_values:
         for c in c_values:

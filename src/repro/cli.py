@@ -7,7 +7,11 @@ Commands
 ``simulate``   run one of the six applications on a configuration
 ``trace``      simulate with full event tracing (Perfetto-loadable)
 ``figures``    regenerate the paper's tables and figures (text form)
+``report``     the performance studies plus a compile/cache summary
 ``headline``   check the paper's headline claims
+
+Commands that compile kernels take ``--cache-dir`` (re-point the
+persistent schedule cache) and ``--no-compile-cache`` (disable it).
 
 Examples
 --------
@@ -19,6 +23,7 @@ Examples
     python -m repro simulate fft1k --json > manifest.json
     python -m repro trace depth --out trace.json
     python -m repro figures --only fig9 fig13
+    python -m repro report --no-compile-cache
     python -m repro headline
 """
 
@@ -48,7 +53,7 @@ from .analysis import (
 )
 from .analysis.perf import TABLE5_C_VALUES, TABLE5_N_VALUES
 from .apps import APPLICATION_ORDER, get_application
-from .compiler import compile_kernel
+from .compiler import compile_kernel, configure_default_cache, default_cache
 from .core import CostModel, ProcessorConfig
 from .core.technology import TECH_45NM, feasibility
 from .kernels import KERNELS, get_kernel
@@ -67,6 +72,36 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _config(args: argparse.Namespace) -> ProcessorConfig:
     return ProcessorConfig(args.clusters, args.alus)
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="persistent schedule-cache directory "
+             "(default: $REPRO_COMPILE_CACHE_DIR or ~/.cache)"
+    )
+    parser.add_argument(
+        "--no-compile-cache", action="store_true",
+        help="disable the persistent schedule cache for this run"
+    )
+
+
+def _apply_cache_arguments(args: argparse.Namespace) -> None:
+    """Honor ``--cache-dir`` / ``--no-compile-cache`` when present."""
+    if getattr(args, "no_compile_cache", False):
+        configure_default_cache(enabled=False)
+    elif getattr(args, "cache_dir", None):
+        configure_default_cache(cache_dir=args.cache_dir)
+
+
+def _cache_summary() -> str:
+    """One-line compile-cache statistics for human-readable output."""
+    cache = default_cache()
+    if not cache.enabled:
+        return "compile cache: disabled"
+    stats = cache.stats()
+    return (f"compile cache: {stats['hits']} hits, "
+            f"{stats['misses']} misses, {stats['writes']} written")
 
 
 def cmd_costs(args: argparse.Namespace) -> int:
@@ -181,6 +216,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"  bandwidth:    LRF {lrf:.0f} / SRF {srf:.1f} / "
           f"memory {mem:.2f} GB/s "
           f"({result.bandwidth.locality_fraction:.1%} on-chip)")
+    print(f"  {_cache_summary()}")
     if args.timeline:
         for record in result.records:
             print(f"    [{record.start:>9}..{record.finish:>9}] "
@@ -278,6 +314,36 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    """Figures 13/14 + Table 5 (and Figure 15 with ``--apps``) in one
+    run, followed by a one-line compile/cache summary."""
+    import time
+
+    from .analysis.sweep import default_engine
+
+    started = time.perf_counter()
+    for name in ("fig13", "fig14", "table5"):
+        print(_FIGURES[name]())
+        print()
+    if args.apps:
+        from .analysis.perf import figure15_application_performance
+
+        print("Figure 15: application performance (speedup over C=8/N=5)")
+        for point in figure15_application_performance(workers=args.workers):
+            config = point.config
+            print(f"  {point.application:10s} C={config.clusters:3d} "
+                  f"N={config.alus_per_cluster:2d}  "
+                  f"{point.speedup:6.2f}x  {point.gops:7.1f} GOPS")
+        print()
+    elapsed = time.perf_counter() - started
+    engine_stats = default_engine().stats()
+    print(f"compile summary: {engine_stats['rate_cached']} kernel-config "
+          f"points ({engine_stats['rate_misses']} compiled, "
+          f"{engine_stats['rate_hits']} memo hits); "
+          f"{_cache_summary()}; {elapsed:.2f}s wall")
+    return 0
+
+
 def cmd_export(args: argparse.Namespace) -> int:
     from .analysis.export import export_all
 
@@ -335,6 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
     comp = sub.add_parser("compile", help="compile a suite kernel")
     comp.add_argument("kernel", help="kernel name (e.g. fft)")
     _add_config_arguments(comp)
+    _add_cache_arguments(comp)
     comp.set_defaults(func=cmd_compile)
 
     sim = sub.add_parser("simulate", help="simulate an application")
@@ -351,6 +418,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also write a Chrome-trace-format JSON trace")
     sim.add_argument("--max-events", type=int, default=DEFAULT_MAX_EVENTS,
                      help="event budget before declaring livelock")
+    _add_cache_arguments(sim)
     sim.set_defaults(func=cmd_simulate)
 
     trace = sub.add_parser(
@@ -366,6 +434,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max timeline rows per resource")
     trace.add_argument("--max-events", type=int, default=DEFAULT_MAX_EVENTS,
                        help="event budget before declaring livelock")
+    _add_cache_arguments(trace)
     trace.set_defaults(func=cmd_trace)
 
     report = sub.add_parser(
@@ -376,7 +445,19 @@ def build_parser() -> argparse.ArgumentParser:
     figs = sub.add_parser("figures", help="regenerate tables/figures")
     figs.add_argument("--only", nargs="*",
                       help=f"subset: {', '.join(sorted(_FIGURES))}")
+    _add_cache_arguments(figs)
     figs.set_defaults(func=cmd_figures)
+
+    rep = sub.add_parser(
+        "report",
+        help="performance studies (figs 13/14, table 5) + cache summary",
+    )
+    rep.add_argument("--apps", action="store_true",
+                     help="include the Figure 15 application sweep (slower)")
+    rep.add_argument("--workers", type=int, default=None,
+                     help="process-pool size for cold sweep points")
+    _add_cache_arguments(rep)
+    rep.set_defaults(func=cmd_report)
 
     head = sub.add_parser("headline", help="check the headline claims")
     head.add_argument("--apps", action="store_true",
@@ -404,6 +485,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _apply_cache_arguments(args)
     return args.func(args)
 
 

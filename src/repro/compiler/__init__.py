@@ -9,10 +9,18 @@ from .modulo import (
     try_modulo_schedule,
     verify_schedule,
 )
+from .cache import (
+    ScheduleCache,
+    compiler_fingerprint,
+    configure_default_cache,
+    default_cache,
+    schedule_key,
+)
 from .pipeline import (
     CompilationError,
     KernelSchedule,
     clear_cache,
+    compile_batch,
     compile_kernel,
 )
 from .pressure import live_per_class, max_live
@@ -25,11 +33,17 @@ __all__ = [
     "MachineDescription",
     "ModuloSchedule",
     "SchedGraph",
+    "ScheduleCache",
     "build_machine",
     "build_sched_graph",
     "choose_unroll_factor",
     "clear_cache",
+    "compile_batch",
     "compile_kernel",
+    "compiler_fingerprint",
+    "configure_default_cache",
+    "default_cache",
+    "schedule_key",
     "list_schedule",
     "live_per_class",
     "max_live",

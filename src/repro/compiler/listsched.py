@@ -37,6 +37,29 @@ class ListSchedule:
             default=0,
         )
 
+    def as_modulo_schedule(self, resource_mii: int, recurrence_mii: int):
+        """This schedule as a (degenerate) modulo schedule at II = length.
+
+        A list schedule issues one body per ``length`` cycles, so it is
+        a valid modulo schedule at that II: every start lies in
+        ``[0, length)`` (no modulo wrap, so per-slot resource usage is
+        the per-cycle usage the list scheduler already bounded) and
+        back edges are trivially satisfied because
+        ``start[u] + latency - length * distance <= 0``.  The II-search
+        driver uses this as its deterministic fallback when iterative
+        modulo scheduling exhausts its backtracking budget below the
+        list-schedule bound.
+        """
+        from .modulo import ModuloSchedule
+
+        return ModuloSchedule(
+            ii=self.length,
+            start=dict(self.start),
+            length=self.length,
+            resource_mii=resource_mii,
+            recurrence_mii=recurrence_mii,
+        )
+
 
 def _priorities(graph: SchedGraph) -> List[int]:
     """Height-based priorities: latency-weighted longest path to a sink.

@@ -135,29 +135,45 @@ def _heights(graph: SchedGraph, ii: int) -> List[int]:
 
 
 class _ReservationTable:
-    """Modulo reservation table: who occupies each (slot, resource)."""
+    """Modulo reservation table: who occupies each (slot, resource).
+
+    Occupancy is tracked incrementally — an integer count per
+    (resource, slot) next to the occupant list — so :meth:`has_room`
+    and :meth:`occupants` are O(1) array reads rather than list scans;
+    the placement loop in :func:`try_modulo_schedule` probes up to II
+    slots per operation, which made lookup cost the scheduler's
+    hottest path at large N.
+    """
+
+    __slots__ = ("ii", "machine", "counts", "nodes", "capacity")
 
     def __init__(self, ii: int, machine: MachineDescription):
         self.ii = ii
         self.machine = machine
-        self.slots: List[Dict[str, List[int]]] = [
-            {name: [] for name in machine.issue_slots} for _ in range(ii)
-        ]
+        self.counts: Dict[str, List[int]] = {
+            name: [0] * ii for name in machine.issue_slots
+        }
+        self.nodes: Dict[str, List[List[int]]] = {
+            name: [[] for _ in range(ii)] for name in machine.issue_slots
+        }
+        self.capacity: Dict[str, int] = dict(machine.issue_slots)
 
     def occupants(self, time: int, resource: str) -> List[int]:
-        return self.slots[time % self.ii][resource]
+        return self.nodes[resource][time % self.ii]
 
     def has_room(self, time: int, resource: str) -> bool:
-        return (
-            len(self.occupants(time, resource))
-            < self.machine.slots_of(resource)
-        )
+        slot = time % self.ii
+        return self.counts[resource][slot] < self.capacity[resource]
 
     def place(self, node: int, time: int, resource: str) -> None:
-        self.occupants(time, resource).append(node)
+        slot = time % self.ii
+        self.counts[resource][slot] += 1
+        self.nodes[resource][slot].append(node)
 
     def remove(self, node: int, time: int, resource: str) -> None:
-        self.occupants(time, resource).remove(node)
+        slot = time % self.ii
+        self.counts[resource][slot] -= 1
+        self.nodes[resource][slot].remove(node)
 
 
 def try_modulo_schedule(
@@ -165,10 +181,32 @@ def try_modulo_schedule(
     machine: MachineDescription,
     ii: int,
     budget_factor: int = BUDGET_FACTOR,
+    resource_bound: Optional[int] = None,
+    recurrence_bound: Optional[int] = None,
 ) -> Optional[ModuloSchedule]:
-    """One IMS attempt at a fixed II; ``None`` if the budget runs out."""
+    """One IMS attempt at a fixed II; ``None`` if the budget runs out.
+
+    ``resource_bound``/``recurrence_bound`` let the II-search driver
+    pass in MII values it already computed (they only decorate the
+    returned schedule); when omitted they are recomputed here.
+
+    The scheduling decisions — priority order, slot probing, forced
+    placement and eviction — are exactly the reference IMS algorithm's;
+    this implementation only precomputes per-node resources/latencies
+    and uses the reservation table's O(1) occupancy counts, so any
+    schedule it returns is bit-identical to the original scheduler's.
+    """
     n = len(graph)
     height = _heights(graph, ii)
+    resource_of: List[Optional[str]] = [
+        machine.resource(opcode) for opcode in graph.opcodes
+    ]
+    latency_of: List[int] = [
+        machine.latency(opcode) for opcode in graph.opcodes
+    ]
+    capacity = dict(machine.issue_slots)
+    preds = graph.preds
+    succs = graph.succs
     start: Dict[int, int] = {}
     previous: Dict[int, int] = {}
     table = _ReservationTable(ii, machine)
@@ -178,23 +216,22 @@ def try_modulo_schedule(
     pending: List[Tuple[int, int]] = [(-height[v], v) for v in range(n)]
     heapq.heapify(pending)
     in_pending = [True] * n
-
-    def push(v: int) -> None:
-        if not in_pending[v]:
-            in_pending[v] = True
-            heapq.heappush(pending, (-height[v], v))
+    heappush = heapq.heappush
+    heappop = heapq.heappop
 
     def evict(v: int) -> None:
         if v in start:
-            resource = machine.resource(graph.opcodes[v])
+            resource = resource_of[v]
             if resource is not None:
                 table.remove(v, start[v], resource)
             previous[v] = start[v]
             del start[v]
-            push(v)
+            if not in_pending[v]:
+                in_pending[v] = True
+                heappush(pending, (-height[v], v))
 
     while pending:
-        _negh, v = heapq.heappop(pending)
+        _negh, v = heappop(pending)
         if not in_pending[v]:
             continue
         in_pending[v] = False
@@ -203,19 +240,21 @@ def try_modulo_schedule(
         budget -= 1
 
         earliest = 0
-        for u, latency, distance in graph.preds[v]:
+        for u, latency, distance in preds[v]:
             if u in start:
-                earliest = max(earliest, start[u] + latency - ii * distance)
-        earliest = max(earliest, 0)
+                candidate = start[u] + latency - ii * distance
+                if candidate > earliest:
+                    earliest = candidate
 
-        resource = machine.resource(graph.opcodes[v])
+        resource = resource_of[v]
         if resource is None:
             chosen = earliest
         else:
+            counts = table.counts[resource]
+            cap = capacity[resource]
             chosen = -1
-            for offset in range(ii):
-                t = earliest + offset
-                if table.has_room(t, resource):
+            for t in range(earliest, earliest + ii):
+                if counts[t % ii] < cap:
                     chosen = t
                     break
             if chosen < 0:
@@ -227,27 +266,33 @@ def try_modulo_schedule(
                 occupants = list(table.occupants(chosen, resource))
                 # Evict the lowest-priority occupant(s) to make room.
                 occupants.sort(key=lambda u: (height[u], -u))
-                needed = len(occupants) - machine.slots_of(resource) + 1
+                needed = len(occupants) - cap + 1
                 for u in occupants[:needed]:
                     evict(u)
             table.place(v, chosen, resource)
 
         start[v] = chosen
         # Displace any scheduled successor that the new start violates.
-        for succ, latency, distance in graph.succs[v]:
+        for succ, latency, distance in succs[v]:
             if succ in start and succ != v:
                 if start[succ] < chosen + latency - ii * distance:
                     evict(succ)
 
-    length = 1 + max(
-        start[v] + machine.latency(graph.opcodes[v]) - 1 for v in range(n)
-    )
+    length = 1 + max(start[v] + latency_of[v] - 1 for v in range(n))
     return ModuloSchedule(
         ii=ii,
         start=dict(start),
         length=length,
-        resource_mii=resource_mii(graph, machine),
-        recurrence_mii=recurrence_mii(graph, machine),
+        resource_mii=(
+            resource_bound
+            if resource_bound is not None
+            else resource_mii(graph, machine)
+        ),
+        recurrence_mii=(
+            recurrence_bound
+            if recurrence_bound is not None
+            else recurrence_mii(graph, machine)
+        ),
     )
 
 

@@ -33,7 +33,13 @@ def max_live(graph: SchedGraph, start: Dict[int, int], ii: int) -> int:
     """
     if ii < 1:
         raise ValueError("initiation interval must be >= 1")
-    usage = [0] * ii
+    # Each live interval adds `wraps` to *every* modulo slot plus +1 over
+    # `remainder` consecutive slots; accumulating the uniform part in a
+    # scalar and the partial part in a difference array makes the whole
+    # computation O(edges + II) instead of O(edges * II) — this runs once
+    # per II attempt, so it was the II search's second-hottest path.
+    uniform = 0
+    delta = [0] * (ii + 1)
     for u in range(len(graph)):
         if graph.opcodes[u].fu_class is FUClass.NONE:
             continue  # constants and loop indices live in immediates
@@ -42,13 +48,25 @@ def max_live(graph: SchedGraph, start: Dict[int, int], ii: int) -> int:
             last_use = start[v] + ii * dist
             if last_use <= defined:
                 continue
-            span = last_use - defined
-            wraps, remainder = divmod(span, ii)
-            for slot in range(ii):
-                usage[slot] += wraps
-            for offset in range(remainder):
-                usage[(defined + offset) % ii] += 1
-    return max(usage, default=0)
+            wraps, remainder = divmod(last_use - defined, ii)
+            uniform += wraps
+            if remainder:
+                lo = defined % ii
+                hi = lo + remainder
+                delta[lo] += 1
+                if hi <= ii:
+                    delta[hi] -= 1
+                else:
+                    delta[ii] -= 1
+                    delta[0] += 1
+                    delta[hi - ii] -= 1
+    peak = 0
+    level = 0
+    for slot in range(ii):
+        level += delta[slot]
+        if level > peak:
+            peak = level
+    return uniform + peak
 
 
 def live_per_class(

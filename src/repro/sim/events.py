@@ -26,7 +26,7 @@ from ..obs.tracer import NULL_TRACER, Tracer
 DEFAULT_MAX_EVENTS = 10_000_000
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class _Event:
     time: int
     order: int
@@ -96,22 +96,35 @@ class EventQueue:
             if self.metrics is not None
             else None
         )
-        while self._heap:
-            events += 1
-            if events > max_events:
-                raise RuntimeError(
-                    f"event budget of {max_events} exceeded (livelock?): "
-                    f"{events - 1} events processed this run, now at cycle "
-                    f"{self._now}, {len(self._heap)} events still pending"
-                )
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
             if occupancy is not None:
-                occupancy.observe(len(self._heap))
-            event = heapq.heappop(self._heap)
-            self._now = event.time
-            self._processed += 1
-            if self.tracer.enabled and event.label is not None:
-                self.tracer.instant("events", event.label, event.time)
-            event.action()
+                occupancy.observe(len(heap))
+            # Drain every event sharing the earliest timestamp in one
+            # heap pass.  Actions may schedule new events at the current
+            # time; those carry higher order counters than anything in
+            # this batch, so executing the batch first preserves the
+            # FIFO-at-equal-times ordering exactly.
+            batch = [heappop(heap)]
+            now = batch[0].time
+            while heap and heap[0].time == now:
+                batch.append(heappop(heap))
+            self._now = now
+            for position, event in enumerate(batch):
+                events += 1
+                if events > max_events:
+                    pending = len(heap) + len(batch) - position - 1
+                    raise RuntimeError(
+                        f"event budget of {max_events} exceeded "
+                        f"(livelock?): {events - 1} events processed this "
+                        f"run, now at cycle {self._now}, {pending} events "
+                        "still pending"
+                    )
+                self._processed += 1
+                if self.tracer.enabled and event.label is not None:
+                    self.tracer.instant("events", event.label, event.time)
+                event.action()
         if self.metrics is not None:
             self.metrics.counter("events.processed").inc(events)
         return self._now
