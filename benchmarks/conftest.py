@@ -8,11 +8,29 @@ reports, and archives the rendered artifact under
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def perf_floor(strict: float, relaxed: float) -> float:
+    """The assertion floor for a timing-based benchmark.
+
+    Shared-CI runners are noisy: a neighbor stealing the core can erase
+    most of a real 6-10x headroom and flake an otherwise healthy gate.
+    By default benchmarks therefore assert only the ``relaxed`` floor —
+    generous enough that tripping it means a genuine regression, not
+    scheduler jitter.  Set ``REPRO_BENCH_STRICT=1`` (quiet machines,
+    perf investigations) to enforce the ``strict`` floor instead.
+    """
+    if os.environ.get("REPRO_BENCH_STRICT", "").strip().lower() in (
+        "1", "on", "yes", "true",
+    ):
+        return strict
+    return relaxed
 
 
 @pytest.fixture()

@@ -10,6 +10,9 @@ Packages:
 * :mod:`repro.sim`       — stream-processor application simulator.
 * :mod:`repro.apps`      — the six applications (StreamC substitute).
 * :mod:`repro.analysis`  — regeneration of every paper table and figure.
+* :mod:`repro.obs`       — tracing, metrics, profiling, run manifests.
+* :mod:`repro.resilience` — fault injection, resilient fan-out, sweep
+  checkpointing (see ``docs/robustness.md``).
 """
 
 __version__ = "1.0.0"

@@ -18,6 +18,16 @@ counts cache hits/misses and observes per-point latency histograms —
 the raw material for the "profile a slow sweep" recipe in
 ``docs/performance.md``.
 
+Resilience (PR 4) rides on :mod:`repro.resilience`: the fan-out goes
+through a :class:`~repro.resilience.executor.ResilientExecutor` (per-
+task timeouts, bounded retries, serial fallback — all counted as
+``resilience.*`` metrics), named fault points let the chaos suite
+inject worker crashes/hangs/transient errors deterministically, and an
+optional :class:`~repro.resilience.checkpoint.SweepCheckpoint` persists
+every completed point so an interrupted sweep resumes without
+recomputation.  None of it changes results: a sweep that succeeds is
+bit-identical to a fault-free serial run.
+
 The module-level :func:`default_engine` is what the public functions in
 :mod:`repro.analysis.perf` share; library users embedding sweeps can
 instantiate private engines with their own instrumentation.
@@ -36,6 +46,9 @@ from ..core.params import TECH_45NM, TechnologyNode
 from ..kernels.suite import get_kernel
 from ..obs.metrics import MetricsRegistry
 from ..obs.profile import PhaseProfiler
+from ..resilience.checkpoint import SweepCheckpoint
+from ..resilience.executor import ResilientExecutor
+from ..resilience.faults import fault_point
 from ..sim.metrics import SimulationResult
 from ..sim.processor import simulate
 
@@ -55,6 +68,7 @@ _SimKey = Tuple[str, ProcessorConfig, TechnologyNode, float]
 def _simulate_point(args: Tuple[str, ProcessorConfig, TechnologyNode, float]):
     """Process-pool worker: one cold simulation (module level so it
     pickles; each worker process warms its own compile cache)."""
+    fault_point("sweep.point")
     application, config, node, clock_ghz = args
     return simulate(get_application(application), config, node, clock_ghz)
 
@@ -70,16 +84,39 @@ class SweepEngine:
     metrics:
         Optional registry; when present the engine counts
         ``sweep.sim.{hits,misses}`` / ``sweep.rate.{hits,misses}`` and
-        observes a ``sweep.point_seconds`` histogram per cold point.
+        observes a ``sweep.point_seconds`` histogram per cold point,
+        and the resilience machinery mirrors its ``resilience.*``
+        recovery counters here too.
+    checkpoint:
+        Optional :class:`~repro.resilience.checkpoint.SweepCheckpoint`;
+        when enabled every completed point is persisted as it lands and
+        :meth:`resume` replays a prior run's points into the memo
+        caches with zero recomputation.
+    task_timeout:
+        Per-task seconds before a pooled point is declared hung and
+        retried (``None`` disables; see
+        :class:`~repro.resilience.executor.ResilientExecutor`).
+    max_retries / max_pool_failures:
+        Retry budget per task and broken-pool budget before the fan-out
+        abandons pooling and finishes serially.
     """
 
     def __init__(
         self,
         profiler: Optional[PhaseProfiler] = None,
         metrics: Optional[MetricsRegistry] = None,
+        checkpoint: Optional[SweepCheckpoint] = None,
+        task_timeout: Optional[float] = None,
+        max_retries: int = 2,
+        max_pool_failures: int = 2,
     ):
         self.profiler = profiler if profiler is not None else PhaseProfiler()
         self.metrics = metrics
+        self.checkpoint = checkpoint
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+        self.max_pool_failures = max_pool_failures
+        self.last_executor_stats: Optional[Dict[str, int]] = None
         self._sim_cache: Dict[_SimKey, SimulationResult] = {}
         self._rate_cache: Dict[Tuple[str, ProcessorConfig], float] = {}
         self.sim_hits = 0
@@ -90,6 +127,8 @@ class SweepEngine:
             # Surface the persistent schedule store's counters alongside
             # the engine's own (compile_cache.{hits,misses,...}).
             default_cache().attach_metrics(metrics)
+            if checkpoint is not None:
+                checkpoint.attach_metrics(metrics)
 
     # --- bookkeeping ---------------------------------------------------
 
@@ -97,6 +136,41 @@ class SweepEngine:
         """Drop every cached result (hit/miss statistics survive)."""
         self._sim_cache.clear()
         self._rate_cache.clear()
+
+    # --- checkpointing --------------------------------------------------
+
+    def configure_checkpoint(
+        self, checkpoint: Optional[SweepCheckpoint]
+    ) -> None:
+        """Attach (or detach, with ``None``) a sweep checkpoint."""
+        self.checkpoint = checkpoint
+        if checkpoint is not None and self.metrics is not None:
+            checkpoint.attach_metrics(self.metrics)
+
+    def resume(self) -> int:
+        """Replay the checkpoint's completed points into the memo
+        caches; returns how many points were restored.
+
+        A resumed point is the pickled result the interrupted run
+        computed — bit-identical to recomputing it — so a resumed sweep
+        finishes with zero recomputation of restored points (damaged
+        entries are dropped and simply recomputed).
+        """
+        if self.checkpoint is None or not self.checkpoint.enabled:
+            return 0
+        restored = 0
+        for kind, key, value in self.checkpoint.entries():
+            if kind == "sim" and key not in self._sim_cache:
+                self._sim_cache[key] = value
+                restored += 1
+            elif kind == "rate" and key not in self._rate_cache:
+                self._rate_cache[key] = value
+                restored += 1
+        return restored
+
+    def _checkpoint_store(self, kind: str, key, value) -> None:
+        if self.checkpoint is not None:
+            self.checkpoint.store(kind, key, value)
 
     def stats(self) -> Dict[str, int]:
         """Cache effectiveness counters, for reports and tests."""
@@ -160,6 +234,7 @@ class SweepEngine:
             )
             self._observe_point(time.perf_counter() - started)
         self._sim_cache[key] = result
+        self._checkpoint_store("sim", key, result)
         return result
 
     def kernel_rate(self, kernel: str, config: ProcessorConfig) -> float:
@@ -177,6 +252,7 @@ class SweepEngine:
         with self.profiler.phase("sweep.kernel_rate"):
             rate = compile_kernel(get_kernel(kernel), config).ops_per_cycle()
         self._rate_cache[key] = rate
+        self._checkpoint_store("rate", key, rate)
         return rate
 
     # --- grid fan-out ---------------------------------------------------
@@ -207,10 +283,16 @@ class SweepEngine:
                 schedules = compile_batch(
                     [(get_kernel(kernel), config) for kernel, config in missing],
                     workers=workers,
+                    metrics=self.metrics,
+                    timeout=self.task_timeout,
+                    max_retries=self.max_retries,
+                    max_pool_failures=self.max_pool_failures,
                 )
             for key, schedule in zip(missing, schedules):
-                self._rate_cache[key] = schedule.ops_per_cycle()
+                rate = schedule.ops_per_cycle()
+                self._rate_cache[key] = rate
                 self._count("rate", hit=False)
+                self._checkpoint_store("rate", key, rate)
         return [self.kernel_rate(kernel, config) for kernel, config in points]
 
     def simulate_many(
@@ -257,30 +339,46 @@ class SweepEngine:
         clock_ghz: float,
         workers: int,
     ) -> None:
-        """Fill the cache for ``missing`` from a process pool."""
-        from concurrent.futures import ProcessPoolExecutor
+        """Fill the cache for ``missing`` through the resilient pool.
 
+        The :class:`~repro.resilience.executor.ResilientExecutor`
+        absorbs hung/crashed workers and transient task failures with
+        retries, quarantine and serial escalation; if even that fails
+        the serial pass in :meth:`simulate_many` still computes every
+        point, so a failed fan-out only costs time, never results.
+        """
+        fault_point("sweep.fan_out")
         jobs = [
             (application, config, node, clock_ghz)
             for application, config in missing
         ]
+        executor = ResilientExecutor(
+            min(workers, len(jobs)),
+            timeout=self.task_timeout,
+            max_retries=self.max_retries,
+            max_pool_failures=self.max_pool_failures,
+            metrics=self.metrics,
+        )
         started = time.perf_counter()
         try:
             with self.profiler.phase("sweep.fan_out"):
-                with ProcessPoolExecutor(
-                    max_workers=min(workers, len(jobs))
-                ) as pool:
-                    results = list(pool.map(_simulate_point, jobs))
+                results = executor.map(_simulate_point, jobs)
+        except (KeyboardInterrupt, SystemExit):
+            # Never absorb an interrupt into the "degraded" path: the
+            # user asked the sweep to stop, not to go serial.
+            raise
         except Exception:
             # Sandboxes without fork/spawn, unpicklable platforms...
-            # the serial pass in simulate_many() still computes every
-            # point, so a failed pool only costs time, never results.
             if self.metrics is not None:
                 self.metrics.counter("sweep.fan_out.failures").inc()
             return
+        finally:
+            self.last_executor_stats = executor.stats()
         for (application, config), result in zip(missing, results):
-            self._sim_cache[(application, config, node, clock_ghz)] = result
+            key = (application, config, node, clock_ghz)
+            self._sim_cache[key] = result
             self._count("sim", hit=False)
+            self._checkpoint_store("sim", key, result)
             self._observe_point(
                 (time.perf_counter() - started) / len(jobs)
             )

@@ -94,6 +94,48 @@ def _apply_cache_arguments(args: argparse.Namespace) -> None:
         configure_default_cache(cache_dir=args.cache_dir)
 
 
+def _add_checkpoint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint-dir", metavar="PATH", default=None,
+        help="sweep checkpoint directory (default: "
+             "$REPRO_SWEEP_CHECKPOINT_DIR or ~/.cache)"
+    )
+    parser.add_argument(
+        "--no-checkpoint", action="store_true",
+        help="do not persist completed sweep points for this run"
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay an interrupted run's checkpointed points before "
+             "sweeping (restored points are never recomputed)"
+    )
+
+
+def _apply_checkpoint_arguments(args: argparse.Namespace) -> None:
+    """Honor the sweep-checkpoint knobs on commands that carry them."""
+    if not hasattr(args, "no_checkpoint"):
+        return
+    from .analysis.sweep import default_engine
+    from .resilience.checkpoint import (
+        SweepCheckpoint,
+        default_checkpoint_root,
+    )
+
+    if args.no_checkpoint:
+        root = None
+    elif args.checkpoint_dir:
+        root = args.checkpoint_dir
+    else:
+        root = default_checkpoint_root()
+    engine = default_engine()
+    engine.configure_checkpoint(
+        SweepCheckpoint(root) if root is not None else None
+    )
+    if getattr(args, "resume", False):
+        restored = engine.resume()
+        print(f"resumed {restored} checkpointed sweep points")
+
+
 def _cache_summary() -> str:
     """One-line compile-cache statistics for human-readable output."""
     cache = default_cache()
@@ -336,11 +378,17 @@ def cmd_report(args: argparse.Namespace) -> int:
                   f"{point.speedup:6.2f}x  {point.gops:7.1f} GOPS")
         print()
     elapsed = time.perf_counter() - started
-    engine_stats = default_engine().stats()
+    engine = default_engine()
+    engine_stats = engine.stats()
     print(f"compile summary: {engine_stats['rate_cached']} kernel-config "
           f"points ({engine_stats['rate_misses']} compiled, "
           f"{engine_stats['rate_hits']} memo hits); "
           f"{_cache_summary()}; {elapsed:.2f}s wall")
+    if engine.checkpoint is not None and engine.checkpoint.enabled:
+        ck = engine.checkpoint.stats()
+        print(f"checkpoint: {ck['loads']} points restored, "
+              f"{ck['writes']} written, {ck['corrupt']} corrupt "
+              f"({engine.checkpoint.root})")
     return 0
 
 
@@ -446,6 +494,7 @@ def build_parser() -> argparse.ArgumentParser:
     figs.add_argument("--only", nargs="*",
                       help=f"subset: {', '.join(sorted(_FIGURES))}")
     _add_cache_arguments(figs)
+    _add_checkpoint_arguments(figs)
     figs.set_defaults(func=cmd_figures)
 
     rep = sub.add_parser(
@@ -456,7 +505,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="include the Figure 15 application sweep (slower)")
     rep.add_argument("--workers", type=int, default=None,
                      help="process-pool size for cold sweep points")
+    rep.add_argument("--task-timeout", type=float, default=None,
+                     help="seconds before a pooled sweep point is "
+                          "declared hung and retried")
     _add_cache_arguments(rep)
+    _add_checkpoint_arguments(rep)
     rep.set_defaults(func=cmd_report)
 
     head = sub.add_parser("headline", help="check the headline claims")
@@ -486,6 +539,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     _apply_cache_arguments(args)
+    _apply_checkpoint_arguments(args)
+    if getattr(args, "task_timeout", None) is not None:
+        from .analysis.sweep import default_engine
+
+        default_engine().task_timeout = args.task_timeout
     return args.func(args)
 
 

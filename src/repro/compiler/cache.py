@@ -59,6 +59,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
 from ..isa.kernel import KernelGraph
+from ..resilience.faults import fault_point
 from .machine import MachineDescription
 
 __all__ = [
@@ -222,13 +223,19 @@ class ScheduleCache:
         if self.root is None:
             return None
         path = self._path(key)
+        # Chaos hook: a "corrupt" fault here bit-flips the entry on
+        # disk before we read it — the checksum below must catch it.
+        fault_point("cache.load", path=path)
         try:
-            raw = path.read_text()
+            raw = path.read_bytes()
         except OSError:
             self._count("misses")
             return None
         try:
-            payload = json.loads(raw)
+            # Decode inside the corruption guard: a bit-flipped entry
+            # may not even be valid UTF-8 (UnicodeDecodeError is a
+            # ValueError, so it lands in the except below).
+            payload = json.loads(raw.decode("utf-8"))
             if not isinstance(payload, dict):
                 raise ValueError("payload is not an object")
             if payload.get("version") != SCHEMA_VERSION:
@@ -276,6 +283,9 @@ class ScheduleCache:
         except OSError:
             return
         self._count("writes")
+        # Chaos hook: a "corrupt" fault here damages the entry we just
+        # wrote, as a crash mid-replace or disk rot would.
+        fault_point("cache.store", path=path)
 
     def evict(self, key: str) -> None:
         """Drop one entry (used for invalid payloads)."""

@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import ProcessorConfig
 from ..isa.kernel import KernelGraph
+from ..resilience.faults import fault_point
 from .cache import ScheduleCache, default_cache, schedule_key
 from .listsched import list_schedule
 from .machine import MachineDescription, build_machine
@@ -156,6 +157,7 @@ def compile_kernel(
             # drop it and recompile from scratch.
             disk.evict(disk_key)
 
+    fault_point("compile.kernel")
     # Register pressure may defeat an aggressive unroll at every II; the
     # compiler then backs off to smaller bodies (less ILP, same result).
     graph = None
@@ -195,16 +197,26 @@ def compile_batch(
     verify: bool = True,
     alu_mix: Optional[Dict[str, float]] = None,
     cache: Optional[ScheduleCache] = None,
+    metrics=None,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    max_pool_failures: int = 2,
 ) -> List[KernelSchedule]:
     """Compile a grid of (kernel, config) jobs; results in input order.
 
     Identical jobs are deduplicated *before* any compilation happens, so
     a full Figure-13/14/15 + Table 5 regeneration compiles each unique
     schedule exactly once; pass ``workers`` to fan the cold uniques out
-    over a process pool (each worker shares the persistent cache
-    directory, so its work is reused by every later process too).  The
-    returned schedules are byte-identical to serial ``compile_kernel``
-    calls, and every result lands in the in-memory cache.
+    over a resilient process pool (each worker shares the persistent
+    cache directory, so its work is reused by every later process too).
+    Hung or crashed workers and transient task failures are retried and
+    quarantined by the :class:`~repro.resilience.executor.\
+ResilientExecutor` (``timeout`` / ``max_retries`` /
+    ``max_pool_failures``; recovery actions land in ``metrics`` as
+    ``resilience.*`` counters), and anything the pool still fails to
+    produce is compiled serially below.  The returned schedules are
+    byte-identical to serial ``compile_kernel`` calls, and every result
+    lands in the in-memory cache.
     """
     order: List[Tuple[int, ProcessorConfig]] = []
     unique: Dict[Tuple[int, ProcessorConfig], CompileJob] = {}
@@ -223,7 +235,13 @@ def compile_batch(
         ]
         if len(cold) > 1:
             pooled = _compile_fan_out(
-                [unique[dedup] for dedup in cold], workers, alu_mix
+                [unique[dedup] for dedup in cold],
+                workers,
+                alu_mix,
+                metrics=metrics,
+                timeout=timeout,
+                max_retries=max_retries,
+                max_pool_failures=max_pool_failures,
             )
             for dedup, schedule in zip(cold, pooled):
                 if schedule is not None:
@@ -243,21 +261,35 @@ def _compile_fan_out(
     jobs: Sequence[CompileJob],
     workers: int,
     alu_mix: Optional[Dict[str, float]],
+    metrics=None,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    max_pool_failures: int = 2,
 ) -> List[Optional[KernelSchedule]]:
-    """Compile ``jobs`` on a process pool; ``None`` entries on failure.
+    """Compile ``jobs`` on a resilient pool; ``None`` entries on failure.
 
-    Sandboxes without fork/spawn degrade to an all-``None`` result — the
+    Worker crashes, hangs and transient errors are absorbed by the
+    executor's retry/quarantine/serial-fallback ladder; platforms that
+    cannot run pools at all degrade to an all-``None`` result — the
     serial pass in :func:`compile_batch` still compiles every job, so a
-    failed pool only costs time, never results.
+    failed pool only costs time, never results.  ``KeyboardInterrupt``
+    and ``SystemExit`` are deliberately *not* absorbed: an interrupted
+    compile must stop, not limp on serially.
     """
-    from concurrent.futures import ProcessPoolExecutor
+    from ..resilience.executor import ResilientExecutor
 
     payloads = [(kernel, config, alu_mix) for kernel, config in jobs]
+    executor = ResilientExecutor(
+        min(workers, len(payloads)),
+        timeout=timeout,
+        max_retries=max_retries,
+        max_pool_failures=max_pool_failures,
+        metrics=metrics,
+    )
     try:
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(payloads))
-        ) as pool:
-            return list(pool.map(_compile_job, payloads))
+        return list(executor.map(_compile_job, payloads))
+    except (KeyboardInterrupt, SystemExit):
+        raise
     except Exception:
         return [None] * len(payloads)
 
@@ -266,6 +298,7 @@ def _compile_job(
     args: Tuple[KernelGraph, ProcessorConfig, Optional[Dict[str, float]]],
 ) -> KernelSchedule:
     """Process-pool worker: one compile (module level so it pickles)."""
+    fault_point("compile.point")
     kernel, config, alu_mix = args
     return compile_kernel(kernel, config, alu_mix=alu_mix)
 

@@ -26,6 +26,7 @@ from ..core.params import TECH_45NM, TechnologyNode
 from ..obs.metrics import MetricsRegistry
 from ..obs.profile import PhaseProfiler
 from ..obs.tracer import NULL_TRACER, Tracer
+from ..resilience.faults import fault_point
 from .cluster import ClusterArray
 from .events import DEFAULT_MAX_EVENTS, EventQueue
 from .host import Host
@@ -81,6 +82,7 @@ class StreamProcessor:
 
     def run(self, program: StreamProgram) -> SimulationResult:
         """Execute ``program`` and return its timing and statistics."""
+        fault_point("sim.run")
         program.validate()
         # Compile every kernel the program calls up front: the batch API
         # dedups repeated calls and consults the persistent schedule
