@@ -35,6 +35,7 @@ instantiate private engines with their own instrumentation.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -117,6 +118,11 @@ class SweepEngine:
         self.max_retries = max_retries
         self.max_pool_failures = max_pool_failures
         self.last_executor_stats: Optional[Dict[str, int]] = None
+        #: Reentrant guard: the serving daemon (and any threaded
+        #: embedder) may drive one shared engine from several threads;
+        #: holding the lock across a cold point also means concurrent
+        #: identical queries compute once, not twice.
+        self._lock = threading.RLock()
         self._sim_cache: Dict[_SimKey, SimulationResult] = {}
         self._rate_cache: Dict[Tuple[str, ProcessorConfig], float] = {}
         self.sim_hits = 0
@@ -134,8 +140,9 @@ class SweepEngine:
 
     def clear(self) -> None:
         """Drop every cached result (hit/miss statistics survive)."""
-        self._sim_cache.clear()
-        self._rate_cache.clear()
+        with self._lock:
+            self._sim_cache.clear()
+            self._rate_cache.clear()
 
     # --- checkpointing --------------------------------------------------
 
@@ -159,13 +166,14 @@ class SweepEngine:
         if self.checkpoint is None or not self.checkpoint.enabled:
             return 0
         restored = 0
-        for kind, key, value in self.checkpoint.entries():
-            if kind == "sim" and key not in self._sim_cache:
-                self._sim_cache[key] = value
-                restored += 1
-            elif kind == "rate" and key not in self._rate_cache:
-                self._rate_cache[key] = value
-                restored += 1
+        with self._lock:
+            for kind, key, value in self.checkpoint.entries():
+                if kind == "sim" and key not in self._sim_cache:
+                    self._sim_cache[key] = value
+                    restored += 1
+                elif kind == "rate" and key not in self._rate_cache:
+                    self._rate_cache[key] = value
+                    restored += 1
         return restored
 
     def _checkpoint_store(self, kind: str, key, value) -> None:
@@ -218,24 +226,25 @@ class SweepEngine:
         result is indistinguishable from a fresh one.
         """
         key = (application, config, node, clock_ghz)
-        cached = self._sim_cache.get(key)
-        if cached is not None:
-            self._count("sim", hit=True)
-            return cached
-        self._count("sim", hit=False)
-        with self.profiler.phase("sweep.simulate"):
-            started = time.perf_counter()
-            result = simulate(
-                get_application(application),
-                config,
-                node,
-                clock_ghz,
-                profiler=self.profiler,
-            )
-            self._observe_point(time.perf_counter() - started)
-        self._sim_cache[key] = result
-        self._checkpoint_store("sim", key, result)
-        return result
+        with self._lock:
+            cached = self._sim_cache.get(key)
+            if cached is not None:
+                self._count("sim", hit=True)
+                return cached
+            self._count("sim", hit=False)
+            with self.profiler.phase("sweep.simulate"):
+                started = time.perf_counter()
+                result = simulate(
+                    get_application(application),
+                    config,
+                    node,
+                    clock_ghz,
+                    profiler=self.profiler,
+                )
+                self._observe_point(time.perf_counter() - started)
+            self._sim_cache[key] = result
+            self._checkpoint_store("sim", key, result)
+            return result
 
     def kernel_rate(self, kernel: str, config: ProcessorConfig) -> float:
         """Sustained whole-chip ops/cycle of a suite kernel, memoized.
@@ -244,16 +253,19 @@ class SweepEngine:
         machine-description build and cache-key construction too.
         """
         key = (kernel, config)
-        cached = self._rate_cache.get(key)
-        if cached is not None:
-            self._count("rate", hit=True)
-            return cached
-        self._count("rate", hit=False)
-        with self.profiler.phase("sweep.kernel_rate"):
-            rate = compile_kernel(get_kernel(kernel), config).ops_per_cycle()
-        self._rate_cache[key] = rate
-        self._checkpoint_store("rate", key, rate)
-        return rate
+        with self._lock:
+            cached = self._rate_cache.get(key)
+            if cached is not None:
+                self._count("rate", hit=True)
+                return cached
+            self._count("rate", hit=False)
+            with self.profiler.phase("sweep.kernel_rate"):
+                rate = compile_kernel(
+                    get_kernel(kernel), config
+                ).ops_per_cycle()
+            self._rate_cache[key] = rate
+            self._checkpoint_store("rate", key, rate)
+            return rate
 
     # --- grid fan-out ---------------------------------------------------
 
@@ -271,29 +283,35 @@ class SweepEngine:
         schedule at most once, ever.  Values are identical to repeated
         :meth:`kernel_rate` calls.
         """
-        missing: List[Tuple[str, ProcessorConfig]] = []
-        seen = set()
-        for kernel, config in points:
-            key = (kernel, config)
-            if key not in self._rate_cache and key not in seen:
-                seen.add(key)
-                missing.append(key)
-        if missing:
-            with self.profiler.phase("sweep.compile_batch"):
-                schedules = compile_batch(
-                    [(get_kernel(kernel), config) for kernel, config in missing],
-                    workers=workers,
-                    metrics=self.metrics,
-                    timeout=self.task_timeout,
-                    max_retries=self.max_retries,
-                    max_pool_failures=self.max_pool_failures,
-                )
-            for key, schedule in zip(missing, schedules):
-                rate = schedule.ops_per_cycle()
-                self._rate_cache[key] = rate
-                self._count("rate", hit=False)
-                self._checkpoint_store("rate", key, rate)
-        return [self.kernel_rate(kernel, config) for kernel, config in points]
+        with self._lock:
+            missing: List[Tuple[str, ProcessorConfig]] = []
+            seen = set()
+            for kernel, config in points:
+                key = (kernel, config)
+                if key not in self._rate_cache and key not in seen:
+                    seen.add(key)
+                    missing.append(key)
+            if missing:
+                with self.profiler.phase("sweep.compile_batch"):
+                    schedules = compile_batch(
+                        [
+                            (get_kernel(kernel), config)
+                            for kernel, config in missing
+                        ],
+                        workers=workers,
+                        metrics=self.metrics,
+                        timeout=self.task_timeout,
+                        max_retries=self.max_retries,
+                        max_pool_failures=self.max_pool_failures,
+                    )
+                for key, schedule in zip(missing, schedules):
+                    rate = schedule.ops_per_cycle()
+                    self._rate_cache[key] = rate
+                    self._count("rate", hit=False)
+                    self._checkpoint_store("rate", key, rate)
+            return [
+                self.kernel_rate(kernel, config) for kernel, config in points
+            ]
 
     def simulate_many(
         self,
@@ -312,25 +330,28 @@ class SweepEngine:
         spawn worker processes the engine degrades to the serial path
         rather than failing the sweep.
         """
-        missing: List[SweepPoint] = []
-        seen = set()
-        for application, config in points:
-            key = (application, config, node, clock_ghz)
-            if key not in self._sim_cache and key not in seen:
-                seen.add(key)
-                missing.append((application, config))
+        with self._lock:
+            missing: List[SweepPoint] = []
+            seen = set()
+            for application, config in points:
+                key = (application, config, node, clock_ghz)
+                if key not in self._sim_cache and key not in seen:
+                    seen.add(key)
+                    missing.append((application, config))
 
-        if missing and workers is not None and workers > 1:
-            self._fan_out(missing, node, clock_ghz, workers)
-        for application, config in missing:
-            # Serial fill for whatever the pool did not cover (all of
-            # it when workers is None or pool startup failed).
-            self.simulate_application(application, config, node, clock_ghz)
+            if missing and workers is not None and workers > 1:
+                self._fan_out(missing, node, clock_ghz, workers)
+            for application, config in missing:
+                # Serial fill for whatever the pool did not cover (all
+                # of it when workers is None or pool startup failed).
+                self.simulate_application(
+                    application, config, node, clock_ghz
+                )
 
-        return [
-            self.simulate_application(application, config, node, clock_ghz)
-            for application, config in points
-        ]
+            return [
+                self.simulate_application(application, config, node, clock_ghz)
+                for application, config in points
+            ]
 
     def _fan_out(
         self,

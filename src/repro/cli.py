@@ -9,9 +9,18 @@ Commands
 ``figures``    regenerate the paper's tables and figures (text form)
 ``report``     the performance studies plus a compile/cache summary
 ``headline``   check the paper's headline claims
+``serve``      long-running JSON-over-HTTP daemon (see docs/serving.md)
 
 Commands that compile kernels take ``--cache-dir`` (re-point the
 persistent schedule cache) and ``--no-compile-cache`` (disable it).
+
+``costs``, ``compile``, ``simulate``, ``report`` and ``headline`` take
+``--json``: machine-readable output as one versioned envelope
+(:func:`repro.obs.manifest.build_envelope`) whose ``data`` is exactly
+the :mod:`repro.api` result payload the serving daemon returns for the
+same query — the two surfaces share one schema by construction.
+Volatile context (wall-clock timings, the run manifest, cache and
+checkpoint statistics) rides in the envelope's ``meta``.
 
 Examples
 --------
@@ -25,6 +34,7 @@ Examples
     python -m repro figures --only fig9 fig13
     python -m repro report --no-compile-cache
     python -m repro headline
+    python -m repro serve --port 8712 --workers 1
 """
 
 from __future__ import annotations
@@ -54,9 +64,7 @@ from .analysis import (
 from .analysis.perf import TABLE5_C_VALUES, TABLE5_N_VALUES
 from .apps import APPLICATION_ORDER, get_application
 from .compiler import compile_kernel, configure_default_cache, default_cache
-from .core import CostModel, ProcessorConfig
-from .core.technology import TECH_45NM, feasibility
-from .kernels import KERNELS, get_kernel
+from .core import ProcessorConfig
 from .obs import MetricsRegistry, PhaseProfiler, Tracer, build_manifest
 from .sim import DEFAULT_MAX_EVENTS, simulate
 
@@ -146,50 +154,71 @@ def _cache_summary() -> str:
             f"{stats['misses']} misses, {stats['writes']} written")
 
 
+def _emit_envelope(kind: str, data: dict, meta: Optional[dict] = None) -> int:
+    """Print one versioned envelope (the ``--json`` output contract)."""
+    from .obs.manifest import build_envelope
+
+    print(json.dumps(build_envelope(kind, data=data, meta=meta), indent=2))
+    return 0
+
+
 def cmd_costs(args: argparse.Namespace) -> int:
-    config = _config(args)
-    model = CostModel(config)
-    area, energy, delay = model.area(), model.energy(), model.delay()
-    feas = feasibility(config, TECH_45NM)
-    print(f"{config.describe()}")
-    print(f"  area:   {area.total / 1e6:.1f} Mgrids "
-          f"({model.area_per_alu() / 1e6:.2f} per ALU)")
-    for name, value in area.as_dict().items():
+    from .api import ApiError, CostQuery, run_cost_query
+
+    try:
+        result = run_cost_query(CostQuery(args.clusters, args.alus))
+    except ApiError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.json:
+        return _emit_envelope("costs", result.to_dict())
+    print(result.config_description)
+    print(f"  area:   {result.area_total / 1e6:.1f} Mgrids "
+          f"({result.area_per_alu / 1e6:.2f} per ALU)")
+    for name, value in result.area.items():
         print(f"    {name:20s} {value / 1e6:10.1f} Mgrids "
-              f"({value / area.total:5.1%})")
-    print(f"  energy: {model.energy_per_alu_op() / 1e6:.2f} ME_w per ALU op")
-    for name, value in energy.as_dict().items():
-        print(f"    {name:20s} {value / energy.total:5.1%}")
-    print(f"  delays: intracluster {delay.intracluster:.1f} FO4, "
-          f"intercluster {delay.intercluster:.1f} FO4")
-    print(f"  at 45nm/1GHz: {feas.peak_gops:.0f} GOPS peak, "
-          f"{feas.area_mm2:.1f} mm^2, {feas.power_watts:.1f} W")
+              f"({value / result.area_total:5.1%})")
+    print(f"  energy: {result.energy_per_alu_op / 1e6:.2f} ME_w per ALU op")
+    for name, value in result.energy.items():
+        print(f"    {name:20s} {value / result.energy_total:5.1%}")
+    print(f"  delays: intracluster {result.delays['intracluster']:.1f} FO4, "
+          f"intercluster {result.delays['intercluster']:.1f} FO4")
+    print(f"  at 45nm/1GHz: {result.feasibility['peak_gops']:.0f} GOPS peak, "
+          f"{result.feasibility['area_mm2']:.1f} mm^2, "
+          f"{result.feasibility['power_watts']:.1f} W")
     if args.floorplan:
         from .analysis.floorplan import render_floorplan
 
         print()
-        print(render_floorplan(config))
+        print(render_floorplan(_config(args)))
     return 0
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
-    if args.kernel not in KERNELS:
-        print(f"unknown kernel {args.kernel!r}; "
-              f"available: {', '.join(sorted(KERNELS))}", file=sys.stderr)
+    from .api import ApiError, CompileRequest, run_compile
+
+    try:
+        result = run_compile(
+            CompileRequest(args.kernel, args.clusters, args.alus)
+        )
+    except ApiError as exc:
+        print(exc, file=sys.stderr)
         return 2
-    config = _config(args)
-    schedule = compile_kernel(get_kernel(args.kernel), config)
-    print(f"kernel '{args.kernel}' on {config.describe()}:")
-    print(f"  unroll factor:      {schedule.unroll_factor}")
-    print(f"  initiation interval {schedule.ii} "
-          f"({schedule.ii_per_iteration:.2f} per iteration; "
-          f"resource MII {schedule.resource_mii}, "
-          f"recurrence MII {schedule.recurrence_mii})")
-    print(f"  schedule length:    {schedule.length} cycles")
-    print(f"  registers:          {schedule.max_live}"
-          f"/{schedule.register_capacity}")
-    print(f"  sustained rate:     {schedule.ops_per_cycle():.1f} ops/cycle "
-          f"({schedule.efficiency:.0%} of ALU-issue bound)")
+    if args.json:
+        return _emit_envelope(
+            "compile", result.to_dict(), meta={"cache": _cache_summary()}
+        )
+    print(f"kernel '{args.kernel}' on {_config(args).describe()}:")
+    print(f"  unroll factor:      {result.unroll_factor}")
+    print(f"  initiation interval {result.ii} "
+          f"({result.ii_per_iteration:.2f} per iteration; "
+          f"resource MII {result.resource_mii}, "
+          f"recurrence MII {result.recurrence_mii})")
+    print(f"  schedule length:    {result.length} cycles")
+    print(f"  registers:          {result.max_live}"
+          f"/{result.register_capacity}")
+    print(f"  sustained rate:     {result.ops_per_cycle:.1f} ops/cycle "
+          f"({result.efficiency:.0%} of ALU-issue bound)")
     return 0
 
 
@@ -233,13 +262,23 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             with open(args.trace_out, "w") as handle:
                 handle.write(tracer.to_chrome_json(indent=2))
         if args.json:
+            from .api import SimulateResult
+
             manifest = build_manifest(
                 result,
                 application=args.application,
                 timings=profiler.as_dict(),
             )
-            print(json.dumps(manifest, indent=2))
-            return 0
+            return _emit_envelope(
+                "simulate",
+                SimulateResult.from_simulation(
+                    result, args.application
+                ).to_dict(),
+                meta={
+                    "manifest": manifest,
+                    "compile_cache": default_cache().stats(),
+                },
+            )
     else:
         result = simulate(
             get_application(args.application),
@@ -356,6 +395,23 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_meta(engine, elapsed: float) -> dict:
+    """Volatile sweep context for ``--json`` envelopes: engine memo and
+    compile-cache counters, checkpoint statistics, wall-clock."""
+    cache = default_cache()
+    meta = {
+        "elapsed_s": round(elapsed, 6),
+        "engine": engine.stats(),
+        "compile_cache": {**cache.stats(), "hit_rate": cache.hit_rate},
+    }
+    if engine.checkpoint is not None and engine.checkpoint.enabled:
+        meta["checkpoint"] = {
+            **engine.checkpoint.stats(),
+            "root": str(engine.checkpoint.root),
+        }
+    return meta
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Figures 13/14 + Table 5 (and Figure 15 with ``--apps``) in one
     run, followed by a one-line compile/cache summary."""
@@ -364,6 +420,24 @@ def cmd_report(args: argparse.Namespace) -> int:
     from .analysis.sweep import default_engine
 
     started = time.perf_counter()
+    if args.json:
+        from .api import SweepRequest, run_sweep
+
+        targets = ["fig13", "fig14", "table5"]
+        if args.apps:
+            targets.append("fig15")
+        studies = {
+            target: run_sweep(
+                SweepRequest(target, workers=args.workers)
+            ).to_dict()
+            for target in targets
+        }
+        elapsed = time.perf_counter() - started
+        return _emit_envelope(
+            "report",
+            {"studies": studies},
+            meta=_sweep_meta(default_engine(), elapsed),
+        )
     for name in ("fig13", "fig14", "table5"):
         print(_FIGURES[name]())
         print()
@@ -411,6 +485,20 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
 
 def cmd_headline(args: argparse.Namespace) -> int:
+    if args.json:
+        import time
+
+        from .analysis.sweep import default_engine
+        from .api import SweepRequest, run_sweep
+
+        started = time.perf_counter()
+        result = run_sweep(SweepRequest("headline", apps=args.apps))
+        elapsed = time.perf_counter() - started
+        return _emit_envelope(
+            "headline",
+            result.to_dict(),
+            meta=_sweep_meta(default_engine(), elapsed),
+        )
     h1 = headline_640(include_apps=args.apps)
     h2 = headline_1280(include_apps=args.apps)
     print("640-ALU (C=128 N=5) vs 40-ALU baseline:")
@@ -433,6 +521,23 @@ def cmd_headline(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.daemon import ServerConfig, run_server
+
+    return run_server(
+        ServerConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_queue=args.max_queue,
+            batch_window_ms=args.batch_window_ms,
+            max_batch=args.max_batch,
+            request_timeout_s=args.timeout,
+            trace_path=args.trace_out,
+        )
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -444,11 +549,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(costs)
     costs.add_argument("--floorplan", action="store_true",
                        help="print the Figure 4/5 physical geometry")
+    costs.add_argument("--json", action="store_true",
+                       help="emit a versioned JSON envelope")
     costs.set_defaults(func=cmd_costs)
 
     comp = sub.add_parser("compile", help="compile a suite kernel")
     comp.add_argument("kernel", help="kernel name (e.g. fft)")
     _add_config_arguments(comp)
+    comp.add_argument("--json", action="store_true",
+                      help="emit a versioned JSON envelope")
     _add_cache_arguments(comp)
     comp.set_defaults(func=cmd_compile)
 
@@ -508,6 +617,8 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--task-timeout", type=float, default=None,
                      help="seconds before a pooled sweep point is "
                           "declared hung and retried")
+    rep.add_argument("--json", action="store_true",
+                     help="emit every study as one versioned JSON envelope")
     _add_cache_arguments(rep)
     _add_checkpoint_arguments(rep)
     rep.set_defaults(func=cmd_report)
@@ -515,7 +626,34 @@ def build_parser() -> argparse.ArgumentParser:
     head = sub.add_parser("headline", help="check the headline claims")
     head.add_argument("--apps", action="store_true",
                       help="include application simulations (slower)")
+    head.add_argument("--json", action="store_true",
+                      help="emit a versioned JSON envelope")
     head.set_defaults(func=cmd_headline)
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-running batched JSON-over-HTTP daemon",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8712,
+                       help="bind port; 0 picks an ephemeral port")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="batch executor width; 1 (default) runs "
+                            "in-process and shares the warm caches")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="pending-request bound before 429 responses")
+    serve.add_argument("--batch-window-ms", type=float, default=5.0,
+                       help="micro-batch collection window")
+    serve.add_argument("--max-batch", type=int, default=16,
+                       help="largest batch handed to the executor")
+    serve.add_argument("--timeout", type=float, default=60.0,
+                       help="per-request seconds before a 504 response")
+    serve.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="write a Chrome trace of the serving window "
+                            "on shutdown")
+    _add_cache_arguments(serve)
+    serve.set_defaults(func=cmd_serve)
 
     val = sub.add_parser(
         "validate", help="check every paper anchor (exit 1 on failure)"

@@ -206,6 +206,16 @@ class ScheduleCache:
             "writes": self.writes,
         }
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 before any lookup).
+
+        The serving daemon's ``/v1/stats`` endpoint and the CI smoke
+        job read this to prove steady-state traffic is cache-bound.
+        """
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
     # --- storage ----------------------------------------------------------
 
     def _path(self, key: str) -> Path:

@@ -504,3 +504,8 @@ def clear_cache() -> None:
     ``default_cache().clear()`` for that."""
     _CACHE.clear()
     _CACHE_KERNELS.clear()
+
+
+def memo_size() -> int:
+    """Number of schedules in the in-memory cache (serving stats)."""
+    return len(_CACHE)

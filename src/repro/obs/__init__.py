@@ -13,10 +13,14 @@ existed.  See ``docs/observability.md`` for the full tour.
 """
 
 from .manifest import (
+    ENVELOPE_SCHEMA,
+    ENVELOPE_VERSION,
     MANIFEST_SCHEMA,
     MANIFEST_VERSION,
     ManifestError,
+    build_envelope,
     build_manifest,
+    validate_envelope,
     validate_manifest,
     write_manifest,
 )
@@ -36,6 +40,8 @@ from .tracer import NULL_TRACER, NullTracer, PrefixedTracer, Span, Tracer
 __all__ = [
     "AccountingWarning",
     "Counter",
+    "ENVELOPE_SCHEMA",
+    "ENVELOPE_VERSION",
     "Gauge",
     "Histogram",
     "MANIFEST_SCHEMA",
@@ -51,7 +57,9 @@ __all__ = [
     "Span",
     "Tracer",
     "accounting_warning",
+    "build_envelope",
     "build_manifest",
+    "validate_envelope",
     "validate_manifest",
     "write_manifest",
 ]

@@ -1,4 +1,4 @@
-"""Versioned, machine-readable run manifests.
+"""Versioned, machine-readable run manifests and response envelopes.
 
 One simulation run serializes to one JSON *manifest*: the configuration
 simulated, the environment that produced it, the result metrics, and
@@ -7,6 +7,15 @@ the wall-clock timings of the host process.  Manifests are what a
 schema is versioned and validated — :func:`validate_manifest` checks a
 parsed document against :data:`MANIFEST_SCHEMA` without any external
 dependency.
+
+Since the API redesign, every machine-readable output the toolchain
+emits — CLI ``--json`` modes, every serving-daemon response — is
+wrapped in one versioned *envelope* (:func:`build_envelope` /
+:func:`validate_envelope`): ``kind`` names the payload, ``data`` is the
+deterministic :mod:`repro.api` payload byte-identical across surfaces,
+and ``meta`` carries whatever volatile context (timings, cache stats,
+manifests) the producer wants to attach.  Consumers dispatch on
+``envelope_version``/``kind`` instead of sniffing shapes.
 """
 
 from __future__ import annotations
@@ -18,10 +27,14 @@ import sys
 from typing import Any, Dict, List, Mapping, Optional
 
 __all__ = [
+    "ENVELOPE_SCHEMA",
+    "ENVELOPE_VERSION",
     "MANIFEST_VERSION",
     "MANIFEST_SCHEMA",
     "ManifestError",
+    "build_envelope",
     "build_manifest",
+    "validate_envelope",
     "validate_manifest",
     "write_manifest",
 ]
@@ -187,3 +200,80 @@ def write_manifest(manifest: Mapping[str, Any], path: str) -> None:
     with open(path, "w") as handle:
         json.dump(manifest, handle, indent=2, sort_keys=False)
         handle.write("\n")
+
+
+# --- response envelopes -------------------------------------------------
+
+#: Bumped whenever an envelope field is added, removed, or changes
+#: meaning (the payload inside ``data`` is versioned separately by
+#: :data:`repro.api.API_VERSION`).
+ENVELOPE_VERSION = 1
+
+#: Schema for the unified machine-readable output wrapper (same schema
+#: language as :data:`MANIFEST_SCHEMA`).
+ENVELOPE_SCHEMA: Dict[str, Any] = {
+    "envelope_version": int,
+    "api_version": int,
+    "kind": str,
+    "tool": {"name": str, "version": str},
+    "ok": bool,
+    "_optional": {
+        "data": dict,
+        "error": {"code": str, "message": str},
+        "meta": dict,
+    },
+}
+
+
+def build_envelope(
+    kind: str,
+    data: Optional[Mapping[str, Any]] = None,
+    *,
+    error: Optional[Mapping[str, Any]] = None,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Wrap one payload (or one error) in the versioned envelope.
+
+    ``data`` must be the deterministic payload (a :mod:`repro.api`
+    result's ``to_dict()``, or a mapping of several); ``meta`` is for
+    volatile context — wall times, cache statistics, run manifests —
+    that equivalence comparisons must ignore.  Exactly one of ``data``
+    and ``error`` must be provided.
+    """
+    from ..api import API_VERSION
+    from .. import __version__
+
+    if (data is None) == (error is None):
+        raise ValueError("an envelope carries either data or an error")
+    envelope: Dict[str, Any] = {
+        "envelope_version": ENVELOPE_VERSION,
+        "api_version": API_VERSION,
+        "kind": kind,
+        "tool": {"name": "repro", "version": __version__},
+        "ok": error is None,
+    }
+    if data is not None:
+        envelope["data"] = dict(data)
+    if error is not None:
+        envelope["error"] = dict(error)
+    if meta is not None:
+        envelope["meta"] = dict(meta)
+    return envelope
+
+
+def validate_envelope(envelope: Any) -> None:
+    """Raise :class:`ManifestError` unless ``envelope`` fits the schema."""
+    errors: List[str] = []
+    _check(envelope, ENVELOPE_SCHEMA, "envelope", errors)
+    if not errors:
+        if envelope["envelope_version"] != ENVELOPE_VERSION:
+            errors.append(
+                f"envelope.envelope_version: {envelope['envelope_version']} "
+                f"is not the supported version {ENVELOPE_VERSION}"
+            )
+        if envelope["ok"] and "data" not in envelope:
+            errors.append("envelope.data: required when ok is true")
+        if not envelope["ok"] and "error" not in envelope:
+            errors.append("envelope.error: required when ok is false")
+    if errors:
+        raise ManifestError("; ".join(errors))

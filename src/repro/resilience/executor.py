@@ -73,6 +73,13 @@ class ResilientExecutor:
     backoff_base / backoff_cap:
         Exponential backoff between retry rounds, in seconds
         (deterministic: no jitter, so chaos runs are reproducible).
+    persistent:
+        Keep the process pool alive *between* :meth:`map` calls.  A
+        one-shot sweep pays pool startup once and tears it down; a
+        long-running server calling :meth:`map` per micro-batch would
+        pay it per batch, so persistent mode reuses one warm pool until
+        :meth:`close` (retired pools — broken or hung — are still
+        replaced with fresh ones, exactly as in one-shot mode).
     """
 
     def __init__(
@@ -85,6 +92,7 @@ class ResilientExecutor:
         backoff_cap: float = 1.0,
         metrics=None,
         tracer: Tracer = NULL_TRACER,
+        persistent: bool = False,
     ):
         self.workers = workers
         self.timeout = timeout
@@ -94,7 +102,9 @@ class ResilientExecutor:
         self.backoff_cap = backoff_cap
         self.metrics = metrics
         self.tracer = tracer
+        self.persistent = persistent
         self.quarantined_pids: List[int] = []
+        self._pool = None  # the kept pool, persistent mode only
         self._counters: Dict[str, int] = {name: 0 for name in COUNTERS}
 
     # --- bookkeeping ----------------------------------------------------
@@ -122,12 +132,14 @@ class ResilientExecutor:
     # --- pool plumbing --------------------------------------------------
 
     def _make_pool(self, width: int):
-        """A fresh pool, or ``None`` when the platform cannot spawn one
-        (counted as a pool failure so the fallback logic engages)."""
+        """A (possibly kept) pool, or ``None`` when the platform cannot
+        spawn one (counted as a pool failure so the fallback engages)."""
         from concurrent.futures import ProcessPoolExecutor
 
+        if self.persistent and self._pool is not None:
+            return self._pool
         try:
-            return ProcessPoolExecutor(
+            pool = ProcessPoolExecutor(
                 max_workers=max(1, min(self.workers, width)),
                 initializer=_worker_init,
             )
@@ -135,10 +147,30 @@ class ResilientExecutor:
             raise
         except Exception:
             return None
+        if self.persistent:
+            self._pool = pool
+        return pool
+
+    def close(self) -> None:
+        """Shut down a persistent pool (no-op otherwise, or when the
+        pool was never built)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ResilientExecutor":
+        """Context-manager support: ``close()`` on exit."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close the persistent pool when the ``with`` block ends."""
+        self.close()
 
     def _retire_pool(self, pool, reason: str) -> None:
         """Quarantine a suspect pool: record its worker pids, stop
         feeding it, and let its processes drain without being waited on."""
+        if pool is self._pool:
+            self._pool = None  # never hand a retired pool out again
         try:
             pids = [p.pid for p in getattr(pool, "_processes", {}).values()]
         except Exception:
@@ -276,5 +308,7 @@ class ResilientExecutor:
                     self._backoff(round_index)
                     round_index += 1
         finally:
-            if pool is not None:
+            if pool is not None and not (
+                self.persistent and pool is self._pool
+            ):
                 pool.shutdown(wait=True)

@@ -1,0 +1,23 @@
+"""Batched serving daemon for the repro toolchain.
+
+``python -m repro serve`` boots :class:`~repro.serve.daemon.ReproServer`
+— a stdlib-only asyncio JSON-over-HTTP daemon that answers
+:mod:`repro.api` requests from a warm process: micro-batched,
+deduplicated, executed through a persistent resilient worker pool, and
+cached by the shared sweep-engine memo and compile caches.  See
+``docs/serving.md`` for the protocol and operational semantics.
+"""
+
+from .batching import MicroBatcher, QueueFull
+from .client import ServeClient, ServeResponse
+from .daemon import ReproServer, ServerConfig, run_server
+
+__all__ = [
+    "MicroBatcher",
+    "QueueFull",
+    "ReproServer",
+    "ServeClient",
+    "ServeResponse",
+    "ServerConfig",
+    "run_server",
+]

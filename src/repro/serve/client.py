@@ -1,0 +1,188 @@
+"""A thin blocking client for the serving daemon.
+
+:class:`ServeClient` wraps ``http.client`` (stdlib, no dependencies)
+and speaks the daemon's JSON protocol: request dataclasses go out as
+their ``to_dict()`` JSON, envelopes come back as plain dictionaries.
+It deliberately imports nothing heavy — only :mod:`repro.api` request
+types, which are lazy themselves — so scripts and tests can hammer a
+daemon without paying the library's import bill.
+
+The client is *transport-thin* on purpose: it does not retry, pool
+connections across threads, or interpret envelopes beyond JSON
+decoding.  Callers that care about ``429 Retry-After`` backpressure
+implement their own retry policy on top (see ``docs/serving.md``).
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Any, Dict, Optional, Tuple
+
+from ..api import (
+    CompileRequest,
+    CostQuery,
+    SimulateRequest,
+    SweepRequest,
+)
+
+__all__ = ["ServeClient", "ServeResponse"]
+
+
+class ServeResponse:
+    """One daemon reply: HTTP status, headers, decoded JSON payload."""
+
+    def __init__(
+        self, status: int, headers: Dict[str, str], payload: Dict[str, Any]
+    ):
+        self.status = status
+        self.headers = headers
+        self.payload = payload
+
+    @property
+    def ok(self) -> bool:
+        """True for a 200 with an ``ok`` envelope."""
+        return self.status == 200 and bool(self.payload.get("ok", True))
+
+    @property
+    def data(self) -> Optional[Dict[str, Any]]:
+        """The envelope's ``data`` (the deterministic result payload)."""
+        return self.payload.get("data")
+
+    @property
+    def error(self) -> Optional[Dict[str, Any]]:
+        """The envelope's ``error`` object, if the request failed."""
+        return self.payload.get("error")
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        """Seconds the server asked us to wait (429/503), else ``None``."""
+        value = self.headers.get("retry-after")
+        return float(value) if value is not None else None
+
+
+class ServeClient:
+    """Blocking JSON client over one keep-alive HTTP connection.
+
+    One client == one connection == one in-flight request at a time;
+    spin up one client per thread for concurrency tests.  Usable as a
+    context manager.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[HTTPConnection] = None
+
+    def _connection(self) -> HTTPConnection:
+        if self._conn is None:
+            self._conn = HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        """Close the underlying connection (reopened on next use)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        """Context-manager entry: returns self."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: closes the connection."""
+        self.close()
+
+    # --- transport ------------------------------------------------------
+
+    def request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> ServeResponse:
+        """One round-trip; reconnects once if the keep-alive went stale."""
+        payload = (
+            json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+            if body is not None
+            else None
+        )
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(
+                    method,
+                    path,
+                    body=payload,
+                    headers={"Content-Type": "application/json"}
+                    if payload is not None
+                    else {},
+                )
+                response = conn.getresponse()
+                raw = response.read()
+                headers = {
+                    name.lower(): value
+                    for name, value in response.getheaders()
+                }
+                decoded = json.loads(raw.decode("utf-8")) if raw else {}
+                return ServeResponse(response.status, headers, decoded)
+            except (ConnectionError, BrokenPipeError, OSError):
+                self.close()
+                if attempt:
+                    raise
+        raise RuntimeError("unreachable")  # pragma: no cover
+
+    def post(self, kind: str, body: Dict[str, Any]) -> ServeResponse:
+        """POST one API request body to ``/v1/<kind>``."""
+        return self.request("POST", f"/v1/{kind}", body)
+
+    # --- typed helpers --------------------------------------------------
+
+    def costs(self, clusters: int = 8, alus: int = 5) -> ServeResponse:
+        """Query the cost model at ``(clusters, alus)``."""
+        return self.post("costs", CostQuery(clusters, alus).to_dict())
+
+    def compile(
+        self, kernel: str, clusters: int = 8, alus: int = 5
+    ) -> ServeResponse:
+        """Compile ``kernel`` for ``(clusters, alus)``."""
+        return self.post(
+            "compile", CompileRequest(kernel, clusters, alus).to_dict()
+        )
+
+    def simulate(
+        self,
+        application: str,
+        clusters: int = 8,
+        alus: int = 5,
+        clock_ghz: float = 1.0,
+        max_events: Optional[int] = None,
+    ) -> ServeResponse:
+        """Simulate ``application`` on ``(clusters, alus)``."""
+        return self.post(
+            "simulate",
+            SimulateRequest(
+                application, clusters, alus, clock_ghz, max_events
+            ).to_dict(),
+        )
+
+    def sweep(
+        self,
+        target: str,
+        apps: bool = False,
+        workers: Optional[int] = None,
+    ) -> ServeResponse:
+        """Regenerate the ``target`` figure/table study."""
+        return self.post("sweep", SweepRequest(target, apps, workers).to_dict())
+
+    def stats(self) -> ServeResponse:
+        """Fetch the daemon's cache/queue/dedup counters."""
+        return self.request("GET", "/v1/stats")
+
+    def metrics(self) -> ServeResponse:
+        """Fetch the full metrics-registry snapshot."""
+        return self.request("GET", "/v1/metrics")
+
+    def health(self) -> ServeResponse:
+        """Liveness probe (``/healthz``)."""
+        return self.request("GET", "/healthz")

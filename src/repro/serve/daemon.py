@@ -1,0 +1,504 @@
+"""The batched serving daemon: JSON-over-HTTP on a warm process.
+
+``python -m repro serve`` starts a long-running asyncio server that
+answers every :mod:`repro.api` request kind over a tiny JSON protocol:
+
+* ``GET  /healthz`` — liveness (plain JSON, no envelope)
+* ``GET  /v1/stats`` — cache/queue/dedup/executor counters
+* ``GET  /v1/metrics`` — the full metrics-registry snapshot
+* ``POST /v1/costs`` — :class:`repro.api.CostQuery`
+* ``POST /v1/compile`` — :class:`repro.api.CompileRequest`
+* ``POST /v1/simulate`` — :class:`repro.api.SimulateRequest`
+* ``POST /v1/sweep`` — :class:`repro.api.SweepRequest`
+
+Request bodies are the request dataclass's ``to_dict()`` JSON; responses
+are versioned envelopes (:func:`repro.obs.manifest.build_envelope`)
+whose ``data`` is byte-for-byte the ``to_dict()`` of the result the
+in-process library call would return — volatile context (durations,
+batch ids) rides in ``meta`` only.
+
+The daemon exists because process startup dominates small queries: a
+cold ``python -m repro costs`` pays interpreter boot, imports and cache
+warming per query, while the daemon pays them once and answers
+steady-state traffic from the shared
+:func:`~repro.analysis.sweep.default_engine` memo and compile caches.
+Requests are micro-batched and deduplicated by
+:class:`~repro.serve.batching.MicroBatcher` and executed through a
+persistent :class:`~repro.resilience.executor.ResilientExecutor`.
+
+Operational behavior:
+
+* **backpressure** — a full pending queue answers ``429`` and a
+  draining server answers ``503``, both with ``Retry-After``;
+* **timeouts** — a request older than ``request_timeout_s`` answers
+  ``504`` (the underlying computation keeps running and still warms
+  the caches for the retry);
+* **graceful drain** — ``SIGTERM``/``SIGINT`` stop accepting, finish
+  queued work, flush the optional Chrome trace, and exit 0.
+
+Implementation note: HTTP/1.1 parsing is hand-rolled on asyncio streams
+(request line + headers + ``Content-Length`` body, keep-alive) because
+the stdlib's ``http.server`` is thread-per-request and this daemon is
+deliberately stdlib-only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..api import (
+    ApiError,
+    REQUEST_KINDS,
+    dedup_key,
+    execute,
+    request_from_dict,
+)
+from ..obs.manifest import build_envelope
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Tracer
+from ..resilience.executor import ResilientExecutor
+from .batching import MicroBatcher, QueueFull
+
+__all__ = ["ReproServer", "ServerConfig", "run_server"]
+
+#: HTTP reason phrases for the statuses the daemon emits.
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Error codes (envelope ``error.code``) to HTTP statuses.
+_ERROR_STATUS = {"bad_request": 400, "internal": 500}
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables for one :class:`ReproServer` instance.
+
+    ``port=0`` binds an ephemeral port (the bound port is reported by
+    :attr:`ReproServer.port` and printed on the ready line).
+    ``workers<=1`` executes batches serially on the dispatcher thread —
+    the cache-bound sweet spot — while larger values fan each batch out
+    over a persistent process pool.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8712
+    workers: int = 1
+    max_queue: int = 64
+    batch_window_ms: float = 5.0
+    max_batch: int = 16
+    request_timeout_s: Optional[float] = 60.0
+    max_body_bytes: int = 1 << 20
+    #: Write a Chrome trace of the serving window here on drain.
+    trace_path: Optional[str] = None
+
+
+def _safe_execute(request: Any) -> Tuple[str, Any]:
+    """Run one API request, never raising for per-request failures.
+
+    Module-level and picklable so the persistent process pool can run
+    it; deterministic failures (bad names, internal bugs) come back as
+    ``("error", (code, message))`` outcomes instead of exceptions, so
+    the resilient executor never burns retries on them — its retry
+    machinery stays reserved for genuine pool crashes and hangs.
+    """
+    try:
+        return ("ok", execute(request))
+    except ApiError as exc:
+        return ("error", ("bad_request", str(exc)))
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception as exc:
+        return ("error", ("internal", f"{type(exc).__name__}: {exc}"))
+
+
+class ReproServer:
+    """One serving instance: HTTP front end, batcher, warm executor.
+
+    Lifecycle: :meth:`start` (binds and begins accepting),
+    :meth:`drain_and_stop` (stop accepting, finish queued work, release
+    the pool).  The test-suite drives it in-process; ``run_server``
+    wires it to signals for real deployments.
+    """
+
+    def __init__(self, config: ServerConfig):
+        self.config = config
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer() if config.trace_path else NULL_TRACER
+        self.executor = ResilientExecutor(
+            workers=config.workers,
+            metrics=self.metrics,
+            persistent=True,
+        )
+        self.batcher = MicroBatcher(
+            self._run_batch,
+            max_queue=config.max_queue,
+            window_s=config.batch_window_ms / 1000.0,
+            max_batch=config.max_batch,
+            metrics=self.metrics,
+        )
+        self.draining = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+        self._started_monotonic = 0.0
+
+    # --- execution ------------------------------------------------------
+
+    def _run_batch(self, requests) -> list:
+        """Dispatcher-thread batch body: fan the batch through the
+        persistent executor (serial in-process when ``workers<=1``)."""
+        return self.executor.map(_safe_execute, requests)
+
+    # --- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket and start the dispatch loop."""
+        self._started_monotonic = time.perf_counter()
+        await self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port
+        )
+
+    @property
+    def port(self) -> int:
+        """The actually-bound port (resolves ``port=0`` ephemerals)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def drain_and_stop(self, timeout: Optional[float] = 30.0) -> bool:
+        """Graceful shutdown: stop accepting, finish queued work,
+        release the worker pool, flush the trace.  Returns ``True`` when
+        every queued request finished within ``timeout``."""
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        clean = await self.batcher.drain(timeout)
+        # Kick idle keep-alive connections loose so their handler
+        # coroutines finish instead of waiting on a dead socket.
+        for writer in list(self._connections):
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+        await self.batcher.stop()
+        self.executor.close()
+        if self.config.trace_path and self.tracer.enabled:
+            with open(self.config.trace_path, "w") as handle:
+                handle.write(self.tracer.to_chrome_json())
+        return clean
+
+    # --- observability --------------------------------------------------
+
+    def _now_us(self) -> int:
+        return int((time.perf_counter() - self._started_monotonic) * 1e6)
+
+    def stats(self) -> Dict[str, Any]:
+        """Everything ``/v1/stats`` reports: queue/dedup counters, the
+        sweep-engine memo, compile caches, and executor recoveries."""
+        from ..analysis.sweep import default_engine
+        from ..compiler.cache import default_cache
+        from ..compiler.pipeline import memo_size
+
+        cache = default_cache()
+        return {
+            "draining": self.draining,
+            "batcher": self.batcher.stats(),
+            "executor": self.executor.stats(),
+            "engine": default_engine().stats(),
+            "compile_cache": {**cache.stats(), "hit_rate": cache.hit_rate},
+            "compile_memo_entries": memo_size(),
+        }
+
+    # --- HTTP plumbing --------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                started = time.perf_counter()
+                status, payload = await self._route(method, path, body)
+                self._observe(method, path, status, started)
+                keep_alive = (
+                    headers.get("connection", "").lower() != "close"
+                )
+                await self._write_response(
+                    writer, status, payload, keep_alive
+                )
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        """Parse one HTTP/1.1 request; ``None`` on a closed connection."""
+        try:
+            line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError):
+            return None
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if not raw or raw in (b"\r\n", b"\n"):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > self.config.max_body_bytes:
+            # Drain what we can without buffering it, then refuse.
+            remaining = length
+            while remaining > 0:
+                chunk = await reader.read(min(remaining, 1 << 16))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+            return (method, path, headers, b"__too_large__")
+        body = await reader.readexactly(length) if length else b""
+        return (method, path, headers, body)
+
+    def _observe(
+        self, method: str, path: str, status: int, started: float
+    ) -> None:
+        endpoint = path.rsplit("/", 1)[-1] or "root"
+        self.metrics.counter(f"serve.requests.{endpoint}").inc()
+        self.metrics.counter(f"serve.responses.{status}").inc()
+        elapsed = time.perf_counter() - started
+        self.metrics.histogram("serve.request_seconds").observe(elapsed)
+        if self.tracer.enabled:
+            finish = self._now_us()
+            self.tracer.span(
+                "serve.http",
+                f"{method} {path}",
+                max(0, finish - int(elapsed * 1e6)),
+                finish,
+                status=status,
+            )
+
+    # --- routing --------------------------------------------------------
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Dispatch one parsed request to its handler; never raises."""
+        try:
+            if body == b"__too_large__":
+                return self._error(
+                    path, 413, "payload_too_large",
+                    f"body exceeds {self.config.max_body_bytes} bytes",
+                )
+            if path == "/healthz":
+                if method != "GET":
+                    return self._error(
+                        path, 405, "method_not_allowed", "use GET"
+                    )
+                return (200, {"status": "ok", "draining": self.draining})
+            if path == "/v1/stats":
+                if method != "GET":
+                    return self._error(
+                        path, 405, "method_not_allowed", "use GET"
+                    )
+                return (200, build_envelope("stats", data=self.stats()))
+            if path == "/v1/metrics":
+                if method != "GET":
+                    return self._error(
+                        path, 405, "method_not_allowed", "use GET"
+                    )
+                return (
+                    200,
+                    build_envelope(
+                        "metrics",
+                        data={"metrics": self.metrics.snapshot().as_dict()},
+                    ),
+                )
+            if path.startswith("/v1/"):
+                kind = path[len("/v1/"):]
+                if kind in REQUEST_KINDS:
+                    if method != "POST":
+                        return self._error(
+                            path, 405, "method_not_allowed", "use POST"
+                        )
+                    return await self._handle_api(kind, body)
+            return self._error(
+                path, 404, "not_found", f"no route for {path}"
+            )
+        except Exception as exc:  # last-resort guard: keep serving
+            return self._error(
+                path, 500, "internal", f"{type(exc).__name__}: {exc}"
+            )
+
+    def _error(
+        self, path: str, status: int, code: str, message: str
+    ) -> Tuple[int, Dict[str, Any]]:
+        kind = path.rsplit("/", 1)[-1] or "request"
+        return (
+            status,
+            build_envelope(kind, error={"code": code, "message": message}),
+        )
+
+    async def _handle_api(
+        self, kind: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Validate, enqueue (with dedup), await, envelope."""
+        path = f"/v1/{kind}"
+        if self.draining:
+            return self._error(
+                path, 503, "draining", "server is draining; retry elsewhere"
+            )
+        try:
+            data = json.loads(body.decode("utf-8")) if body else {}
+        except ValueError as exc:
+            return self._error(path, 400, "bad_request",
+                               f"invalid JSON body ({exc})")
+        try:
+            request = request_from_dict(kind, data)
+        except ApiError as exc:
+            return self._error(path, 400, "bad_request", str(exc))
+        try:
+            future = self.batcher.submit(dedup_key(request), request)
+        except QueueFull as exc:
+            envelope = self._error(path, 429, "queue_full", str(exc))
+            return envelope
+        started = time.perf_counter()
+        try:
+            # shield(): a timeout abandons *this waiter*, not the
+            # computation — coalesced waiters and the cache warm-up
+            # still complete.
+            outcome = await asyncio.wait_for(
+                asyncio.shield(future), self.config.request_timeout_s
+            )
+        except asyncio.TimeoutError:
+            return self._error(
+                path, 504, "timeout",
+                f"request exceeded {self.config.request_timeout_s}s",
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # batch-level failure surfaced
+            return self._error(
+                path, 500, "internal", f"{type(exc).__name__}: {exc}"
+            )
+        status_tag, value = outcome
+        if status_tag == "error":
+            code, message = value
+            return self._error(
+                path, _ERROR_STATUS.get(code, 500), code, message
+            )
+        meta = {
+            "duration_ms": round(
+                (time.perf_counter() - started) * 1000.0, 3
+            ),
+        }
+        return (200, build_envelope(kind, data=value.to_dict(), meta=meta))
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, Any],
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        headers = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        if status in (429, 503):
+            headers.append("Retry-After: 1")
+        writer.write(
+            ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body
+        )
+        await writer.drain()
+
+
+def run_server(config: ServerConfig) -> int:
+    """Run the daemon until SIGTERM/SIGINT, then drain; returns the
+    process exit code (0 for a clean drain)."""
+    import signal
+
+    async def _serve() -> bool:
+        server = ReproServer(config)
+        await server.start()
+        stop = asyncio.get_running_loop().create_future()
+
+        def _request_stop(*_args) -> None:
+            if not stop.done():
+                stop.set_result(None)
+
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, _request_stop)
+            loop.add_signal_handler(signal.SIGINT, _request_stop)
+        except (NotImplementedError, RuntimeError):
+            # Platforms without loop signal support (e.g. Windows
+            # proactor): fall back to the default KeyboardInterrupt.
+            signal.signal(signal.SIGTERM, _request_stop)
+        print(
+            f"repro serve: listening on http://{config.host}:{server.port} "
+            f"(workers={config.workers}, queue={config.max_queue}, "
+            f"window={config.batch_window_ms}ms)",
+            flush=True,
+        )
+        await stop
+        print("repro serve: draining...", flush=True)
+        clean = await server.drain_and_stop()
+        snapshot = server.metrics.snapshot().as_dict()
+        summary = {
+            "clean_drain": clean,
+            "requests": int(
+                sum(
+                    value
+                    for name, value in snapshot.items()
+                    if name.startswith("serve.requests.")
+                )
+            ),
+            "batches": server.batcher.batches,
+            "deduped": server.batcher.deduped,
+            "mean_request_ms": round(
+                snapshot.get("serve.request_seconds.mean", 0.0) * 1000.0, 3
+            ),
+        }
+        print(f"repro serve: drained {json.dumps(summary)}", flush=True)
+        return clean
+
+    try:
+        clean = asyncio.run(_serve())
+    except KeyboardInterrupt:
+        return 0
+    return 0 if clean else 1

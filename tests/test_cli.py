@@ -1,8 +1,19 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+
+
+def _envelope(capsys):
+    """Parse and schema-check one ``--json`` envelope from stdout."""
+    from repro.obs import validate_envelope
+
+    envelope = json.loads(capsys.readouterr().out)
+    validate_envelope(envelope)
+    return envelope
 
 
 class TestCosts:
@@ -12,6 +23,15 @@ class TestCosts:
         assert "C=8 N=5" in out
         assert "GOPS peak" in out
         assert "intercluster" in out
+
+    def test_costs_json_matches_api(self, capsys):
+        from repro.api import CostQuery, run_cost_query
+
+        assert main(["costs", "-c", "16", "-n", "5", "--json"]) == 0
+        envelope = _envelope(capsys)
+        assert envelope["kind"] == "costs"
+        direct = run_cost_query(CostQuery(16, 5)).to_dict()
+        assert envelope["data"] == direct
 
 
 class TestCompile:
@@ -23,6 +43,17 @@ class TestCompile:
     def test_unknown_kernel(self, capsys):
         assert main(["compile", "nope"]) == 2
         assert "unknown kernel" in capsys.readouterr().err
+
+    def test_compile_json_matches_api(self, capsys):
+        from repro.api import CompileRequest, run_compile
+
+        assert main(["compile", "blocksad", "-c", "8", "-n", "5",
+                     "--json"]) == 0
+        envelope = _envelope(capsys)
+        assert envelope["kind"] == "compile"
+        assert envelope["data"]["ii"] == 12
+        direct = run_compile(CompileRequest("blocksad", 8, 5)).to_dict()
+        assert envelope["data"] == direct
 
 
 class TestSimulate:
@@ -67,6 +98,33 @@ class TestHeadline:
         assert "kernel speedup" in out
         assert "paper 15.3x" in out
 
+    def test_headline_json(self, capsys):
+        assert main(["headline", "--json"]) == 0
+        envelope = _envelope(capsys)
+        assert envelope["kind"] == "headline"
+        machines = {row["machine"] for row in envelope["data"]["rows"]}
+        assert machines == {"640alu", "1280alu"}
+        assert "engine" in envelope["meta"]
+
+
+class TestReportJson:
+    def test_report_json_studies(self, capsys):
+        assert main(["report", "--json"]) == 0
+        envelope = _envelope(capsys)
+        assert envelope["kind"] == "report"
+        studies = envelope["data"]["studies"]
+        assert set(studies) == {"fig13", "fig14", "table5"}
+        assert studies["table5"]["rows"]
+        assert "compile_cache" in envelope["meta"]
+
+    def test_report_json_matches_sweep_api(self, capsys):
+        from repro.api import SweepRequest, run_sweep
+
+        assert main(["report", "--json"]) == 0
+        envelope = _envelope(capsys)
+        direct = run_sweep(SweepRequest("table5")).to_dict()
+        assert envelope["data"]["studies"]["table5"] == direct
+
 
 class TestNewerCommands:
     def test_floorplan_flag(self, capsys):
@@ -106,3 +164,19 @@ class TestParser:
     def test_requires_a_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_serve_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "2",
+             "--batch-window-ms", "1.5", "--max-queue", "8",
+             "--timeout", "10", "--trace-out", "t.json"]
+        )
+        assert args.func.__name__ == "cmd_serve"
+        assert args.port == 0
+        assert args.workers == 2
+        assert args.batch_window_ms == 1.5
+        assert args.max_queue == 8
+        assert args.timeout == 10.0
+        assert args.trace_out == "t.json"

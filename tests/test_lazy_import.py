@@ -1,0 +1,89 @@
+"""``import repro`` must stay cheap: no numpy, no simulator, no grids.
+
+The serving daemon's thin clients (and anything scripting against
+``repro.api`` request types) import the package constantly; PEP 562
+lazy exports keep that import from paying for the whole toolchain.
+Each test runs a fresh interpreter so this process's warm
+``sys.modules`` can't mask a regression.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: Modules that must NOT load at each probe point.
+HEAVY = ("numpy", "repro.sim", "repro.isa", "repro.analysis",
+         "repro.compiler", "repro.apps", "repro.kernels")
+
+
+def _run_probe(code: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    return json.loads(out.stdout)
+
+
+def test_bare_import_loads_nothing_heavy():
+    loaded = _run_probe(
+        "import json, sys\n"
+        "import repro\n"
+        "print(json.dumps(sorted(m for m in sys.modules"
+        " if m.startswith('repro') or m == 'numpy')))"
+    )
+    assert "repro" in loaded
+    for module in HEAVY + ("repro.core",):
+        assert module not in loaded, module
+
+
+def test_core_access_loads_core_only():
+    loaded = _run_probe(
+        "import json, sys\n"
+        "import repro\n"
+        "_ = repro.CostModel  # resolves lazily via __getattr__\n"
+        "print(json.dumps(sorted(m for m in sys.modules"
+        " if m.startswith('repro') or m == 'numpy')))"
+    )
+    assert "repro.core" in loaded
+    for module in HEAVY:
+        assert module not in loaded, module
+
+
+def test_api_requests_load_no_simulator():
+    loaded = _run_probe(
+        "import json, sys\n"
+        "from repro.api import SimulateRequest\n"
+        "r = SimulateRequest('fft1k', 8, 5)\n"
+        "_ = r.to_json()\n"
+        "print(json.dumps(sorted(m for m in sys.modules"
+        " if m.startswith('repro') or m == 'numpy')))"
+    )
+    assert "repro.api" in loaded
+    for module in HEAVY:
+        assert module not in loaded, module
+
+
+def test_serve_client_is_light():
+    loaded = _run_probe(
+        "import json, sys\n"
+        "from repro.serve.client import ServeClient\n"
+        "print(json.dumps(sorted(m for m in sys.modules"
+        " if m.startswith('repro') or m == 'numpy')))"
+    )
+    for module in HEAVY:
+        assert module not in loaded, module
+
+
+def test_lazy_exports_all_resolve():
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+    assert sorted(set(repro.__all__)) == sorted(repro.__all__)
+    assert "CostModel" in dir(repro)

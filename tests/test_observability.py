@@ -283,6 +283,57 @@ class TestManifest:
             validate_manifest(broken)
 
 
+class TestEnvelope:
+    """The versioned envelope wrapping all machine-readable output."""
+
+    def test_build_and_validate(self):
+        from repro.obs import build_envelope, validate_envelope
+
+        envelope = build_envelope(
+            "costs", data={"clusters": 8}, meta={"duration_ms": 1.0}
+        )
+        validate_envelope(envelope)
+        assert envelope["ok"] is True
+        assert envelope["kind"] == "costs"
+        assert envelope["envelope_version"] == 1
+        assert envelope["api_version"] == 1
+        assert envelope["tool"]["name"] == "repro"
+
+    def test_error_envelope(self):
+        from repro.obs import build_envelope, validate_envelope
+
+        envelope = build_envelope(
+            "compile", error={"code": "bad_request", "message": "nope"}
+        )
+        validate_envelope(envelope)
+        assert envelope["ok"] is False
+        assert "data" not in envelope
+
+    def test_data_xor_error_enforced(self):
+        from repro.obs import build_envelope
+
+        with pytest.raises(ValueError, match="either data or an error"):
+            build_envelope("costs")
+        with pytest.raises(ValueError, match="either data or an error"):
+            build_envelope("costs", data={}, error={"code": "x",
+                                                    "message": "y"})
+
+    def test_validate_rejects_broken_envelopes(self):
+        from repro.obs import build_envelope, validate_envelope
+
+        envelope = build_envelope("costs", data={"x": 1})
+        wrong_version = dict(envelope, envelope_version=999)
+        with pytest.raises(ManifestError, match="version"):
+            validate_envelope(wrong_version)
+        inconsistent = dict(envelope, ok=False)
+        with pytest.raises(ManifestError):
+            validate_envelope(inconsistent)
+        missing = dict(envelope)
+        del missing["kind"]
+        with pytest.raises(ManifestError, match="kind"):
+            validate_envelope(missing)
+
+
 class TestPartitionedTracing:
     def test_partitions_get_prefixed_lanes(self):
         tracer = Tracer()
@@ -298,12 +349,22 @@ class TestPartitionedTracing:
 
 class TestCli:
     def test_simulate_json_manifest(self, capsys):
+        # Since PR 5, ``simulate --json`` emits a versioned envelope:
+        # the deterministic api payload in ``data``, the run manifest
+        # (still validate_manifest-clean) in ``meta``.
+        from repro.obs import validate_envelope
+
         assert main(["simulate", "fft1k", "-c", "8", "-n", "5",
                      "--json"]) == 0
         out = capsys.readouterr().out
-        manifest = json.loads(out)
+        envelope = json.loads(out)
+        validate_envelope(envelope)
+        assert envelope["kind"] == "simulate"
+        assert envelope["ok"] is True
+        assert envelope["data"]["cycles"] > 0
+        manifest = envelope["meta"]["manifest"]
         validate_manifest(manifest)
-        assert manifest["results"]["cycles"] > 0
+        assert manifest["results"]["cycles"] == envelope["data"]["cycles"]
         assert "simulate" in manifest["timings"]
 
     def test_simulate_trace_out(self, capsys, tmp_path):

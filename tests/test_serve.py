@@ -1,0 +1,283 @@
+"""The serving daemon: equivalence, dedup, backpressure, drain.
+
+The headline contract is **surface equivalence**: every endpoint's
+``data`` payload is byte-for-byte what the corresponding ``repro.api``
+call returns in-process.  Around that sit the operational behaviors —
+exact in-flight deduplication, bounded-queue 429s, draining 503s,
+per-request 504s, and a clean SIGTERM drain of the real
+``python -m repro serve`` process.
+"""
+
+import asyncio
+import contextlib
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    CompileRequest,
+    CostQuery,
+    SimulateRequest,
+    SweepRequest,
+    execute,
+)
+from repro.serve import ReproServer, ServeClient, ServerConfig
+
+
+def _canonical(data):
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@contextlib.contextmanager
+def running_server(**overrides):
+    """An in-process daemon on an ephemeral port, drained on exit."""
+    overrides.setdefault("port", 0)
+    overrides.setdefault("batch_window_ms", 2.0)
+    config = ServerConfig(**overrides)
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    server = ReproServer(config)
+    asyncio.run_coroutine_threadsafe(server.start(), loop).result(10)
+    try:
+        yield server
+    finally:
+        asyncio.run_coroutine_threadsafe(
+            server.drain_and_stop(10), loop
+        ).result(60)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(5)
+        loop.close()
+
+
+@pytest.fixture(scope="module")
+def warm_server():
+    """One shared daemon for the read-mostly tests (module-scoped so
+    cache warm-up is paid once)."""
+    with running_server() as server:
+        yield server
+
+
+@pytest.fixture()
+def client(warm_server):
+    with ServeClient("127.0.0.1", warm_server.port) as c:
+        yield c
+
+
+class TestEndpointEquivalence:
+    """Server payloads must be byte-identical to direct api calls."""
+
+    REQUESTS = (
+        ("costs", CostQuery(8, 5)),
+        ("costs", CostQuery(128, 5)),
+        ("compile", CompileRequest("fft", 8, 5)),
+        ("simulate", SimulateRequest("fft1k", 8, 5)),
+        ("sweep", SweepRequest("table5")),
+    )
+
+    @pytest.mark.parametrize(
+        "kind,request_obj", REQUESTS,
+        ids=[f"{k}-{i}" for i, (k, _) in enumerate(REQUESTS)],
+    )
+    def test_byte_identical_to_library(self, client, kind, request_obj):
+        direct = execute(request_obj)
+        response = client.post(kind, request_obj.to_dict())
+        assert response.status == 200
+        assert response.ok
+        assert _canonical(response.data) == direct.to_json()
+
+    def test_envelope_shape(self, client):
+        from repro.obs import validate_envelope
+
+        response = client.costs(8, 5)
+        validate_envelope(response.payload)
+        assert response.payload["kind"] == "costs"
+        assert response.payload["api_version"] == 1
+        assert "duration_ms" in response.payload["meta"]
+
+
+class TestHttpSemantics:
+    def test_healthz(self, client):
+        response = client.health()
+        assert response.status == 200
+        assert response.payload["status"] == "ok"
+
+    def test_unknown_route_404(self, client):
+        response = client.request("GET", "/v1/frobnicate")
+        assert response.status == 404
+        assert response.error["code"] == "not_found"
+
+    def test_wrong_method_405(self, client):
+        assert client.request("GET", "/v1/costs").status == 405
+        assert client.request("POST", "/v1/stats").status == 405
+
+    def test_bad_json_400(self, client):
+        # hand-roll a broken body: the typed helpers can't produce one
+        conn = client._connection()
+        conn.request("POST", "/v1/costs", body=b"{nope",
+                     headers={"Content-Type": "application/json"})
+        raw = conn.getresponse()
+        payload = json.loads(raw.read())
+        assert raw.status == 400
+        assert payload["error"]["code"] == "bad_request"
+
+    def test_unknown_field_400(self, client):
+        response = client.post("costs", {"cluster_count": 8})
+        assert response.status == 400
+        assert "unknown field" in response.error["message"]
+
+    def test_unknown_kernel_400(self, client):
+        response = client.post("compile", {"kernel": "doom"})
+        assert response.status == 400
+        assert "unknown kernel" in response.error["message"]
+
+    def test_stats_endpoint(self, client):
+        response = client.stats()
+        assert response.status == 200
+        stats = response.data
+        assert stats["batcher"]["submitted"] >= 1
+        assert "hit_rate" in stats["compile_cache"]
+        assert "tasks_ok" in stats["executor"]
+        assert "sim_hits" in stats["engine"]
+
+    def test_metrics_endpoint(self, client):
+        response = client.metrics()
+        assert response.status == 200
+        metrics = response.data["metrics"]
+        assert any(
+            name.startswith("serve.requests.") for name in metrics
+        )
+        assert "serve.request_seconds.count" in metrics
+
+
+class TestDeduplication:
+    def test_concurrent_identical_requests_coalesce_exactly(self):
+        """N simultaneous identical queries -> 1 execution, N-1 dedups."""
+        clients = 8
+        with running_server(batch_window_ms=500.0) as server:
+            barrier = threading.Barrier(clients)
+
+            def fire(_):
+                with ServeClient("127.0.0.1", server.port) as c:
+                    barrier.wait()
+                    return c.costs(7, 3)
+
+            with ThreadPoolExecutor(max_workers=clients) as pool:
+                responses = list(pool.map(fire, range(clients)))
+            assert all(r.status == 200 for r in responses)
+            bodies = {_canonical(r.data) for r in responses}
+            assert len(bodies) == 1  # every waiter saw the same result
+            stats = server.batcher.stats()
+            assert stats["submitted"] == clients
+            assert stats["deduped"] == clients - 1
+            assert stats["executed"] == 1
+
+
+class TestBackpressure:
+    def test_full_queue_answers_429_with_retry_after(self):
+        with running_server(max_queue=1, batch_window_ms=800.0) as server:
+            with ServeClient("127.0.0.1", server.port) as c1:
+                with ThreadPoolExecutor(max_workers=1) as pool:
+                    # Occupy the single queue slot for the window...
+                    first = pool.submit(lambda: c1.costs(9, 2))
+                    time.sleep(0.2)
+                    # ...then a *different* query must be refused.
+                    with ServeClient("127.0.0.1", server.port) as c2:
+                        refused = c2.costs(9, 4)
+                    assert refused.status == 429
+                    assert refused.error["code"] == "queue_full"
+                    assert refused.retry_after is not None
+                    assert first.result(30).status == 200
+
+    def test_draining_answers_503(self):
+        with running_server() as server:
+            server.draining = True
+            with ServeClient("127.0.0.1", server.port) as c:
+                response = c.costs(8, 5)
+            assert response.status == 503
+            assert response.error["code"] == "draining"
+            assert response.retry_after is not None
+            server.draining = False  # let the fixture drain cleanly
+
+    def test_slow_request_answers_504(self):
+        with running_server(
+            batch_window_ms=700.0, request_timeout_s=0.05
+        ) as server:
+            with ServeClient("127.0.0.1", server.port) as c:
+                response = c.costs(11, 2)
+            assert response.status == 504
+            assert response.error["code"] == "timeout"
+
+
+class TestConcurrentClients:
+    def test_sixteen_mixed_clients_no_corruption(self, warm_server):
+        """>=16 simultaneous mixed requests: every response is 200 and
+        byte-identical to the direct library call for its request."""
+        mix = [
+            ("costs", CostQuery(8, 5)),
+            ("costs", CostQuery(16, 5)),
+            ("costs", CostQuery(128, 5)),
+            ("compile", CompileRequest("fft", 8, 5)),
+            ("simulate", SimulateRequest("fft1k", 8, 5)),
+            ("sweep", SweepRequest("table5")),
+        ]
+        expected = {
+            kind + _canonical(req.to_dict()): execute(req).to_json()
+            for kind, req in mix
+        }
+        jobs = [(i, mix[i % len(mix)]) for i in range(16)]
+
+        def fire(job):
+            _, (kind, req) = job
+            with ServeClient("127.0.0.1", warm_server.port) as c:
+                return kind, req, c.post(kind, req.to_dict())
+
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            outcomes = list(pool.map(fire, jobs))
+        assert len(outcomes) == 16
+        for kind, req, response in outcomes:
+            assert response.status == 200, (kind, response.payload)
+            key = kind + _canonical(req.to_dict())
+            assert _canonical(response.data) == expected[key]
+
+
+class TestGracefulDrain:
+    def test_sigterm_drains_real_process(self, tmp_path):
+        """`python -m repro serve` exits 0 on SIGTERM after draining."""
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_COMPILE_CACHE_DIR"] = str(tmp_path / "cache")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0"],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            ready = proc.stdout.readline()
+            match = re.search(r"http://[\d.]+:(\d+)", ready)
+            assert match, f"no ready line: {ready!r}"
+            port = int(match.group(1))
+            with ServeClient("127.0.0.1", port) as c:
+                assert c.costs(8, 5).status == 200
+                assert c.health().payload["status"] == "ok"
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, out
+        assert "draining" in out
+        assert '"clean_drain": true' in out
