@@ -117,3 +117,51 @@ def test_serve_throughput_vs_process_spawn(benchmark, archive):
     assert ratio >= perf_floor(strict=25.0, relaxed=5.0), (
         f"daemon only {ratio:.1f}x faster than process spawn"
     )
+
+
+def test_serve_slo_loadgen(benchmark, archive):
+    """Closed-loop loadgen against a warm daemon: the SLO report CI
+    publishes must show non-trivial percentiles and real throughput."""
+    from repro.obs.loadgen import (
+        LoadgenConfig,
+        render_report,
+        run_loadgen,
+        slo_line,
+    )
+
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    server = ReproServer(ServerConfig(port=0, batch_window_ms=1.0))
+    asyncio.run_coroutine_threadsafe(server.start(), loop).result(10)
+    try:
+        # Warm the caches so the timed window measures steady state.
+        with ServeClient("127.0.0.1", server.port) as warm:
+            for kind, request in WORKLOAD:
+                assert warm.post(kind, request.to_dict()).status == 200
+
+        config = LoadgenConfig(
+            port=server.port,
+            duration_s=3.0,
+            concurrency=3,
+            mix="costs=6,compile=2,simulate=1",
+        )
+        report = run_once(benchmark, run_loadgen, config)
+    finally:
+        asyncio.run_coroutine_threadsafe(
+            server.drain_and_stop(10), loop
+        ).result(60)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(5)
+        loop.close()
+
+    overall = report["overall"]
+    archive(render_report(report))
+    assert overall["ok"] >= 50, "too few samples for meaningful SLOs"
+    assert overall["errors"] == 0
+    assert overall["p50_ms"] is not None and overall["p50_ms"] > 0.0
+    assert overall["p99_ms"] >= overall["p50_ms"] > 0.0
+    assert report["saturation_rps"] == overall["throughput_rps"]
+    assert overall["throughput_rps"] >= perf_floor(
+        strict=100.0, relaxed=10.0
+    ), slo_line(report)

@@ -45,8 +45,10 @@ from ..compiler.pipeline import compile_batch, compile_kernel
 from ..core.config import ProcessorConfig
 from ..core.params import TECH_45NM, TechnologyNode
 from ..kernels.suite import get_kernel
+from ..obs.log import get_logger, log_event
 from ..obs.metrics import MetricsRegistry
 from ..obs.profile import PhaseProfiler
+from ..obs.progress import ProgressBus, default_bus
 from ..resilience.checkpoint import SweepCheckpoint
 from ..resilience.executor import ResilientExecutor
 from ..resilience.faults import fault_point
@@ -100,6 +102,11 @@ class SweepEngine:
     max_retries / max_pool_failures:
         Retry budget per task and broken-pool budget before the fan-out
         abandons pooling and finishes serially.
+    progress:
+        The :class:`~repro.obs.progress.ProgressBus` per-point
+        completion events go to (the shared :func:`default_bus` unless
+        a private one is injected, e.g. by tests).  Publishing is free
+        when nothing subscribes, so batch runs are unaffected.
     """
 
     def __init__(
@@ -110,6 +117,7 @@ class SweepEngine:
         task_timeout: Optional[float] = None,
         max_retries: int = 2,
         max_pool_failures: int = 2,
+        progress: Optional[ProgressBus] = None,
     ):
         self.profiler = profiler if profiler is not None else PhaseProfiler()
         self.metrics = metrics
@@ -117,6 +125,8 @@ class SweepEngine:
         self.task_timeout = task_timeout
         self.max_retries = max_retries
         self.max_pool_failures = max_pool_failures
+        self._progress = progress
+        self._log = get_logger("sweep")
         self.last_executor_stats: Optional[Dict[str, int]] = None
         #: Reentrant guard: the serving daemon (and any threaded
         #: embedder) may drive one shared engine from several threads;
@@ -210,6 +220,45 @@ class SweepEngine:
         if self.metrics is not None:
             self.metrics.histogram("sweep.point_seconds").observe(seconds)
 
+    # --- progress events ------------------------------------------------
+
+    @property
+    def progress(self) -> ProgressBus:
+        """The bus point events go to (resolved lazily so engines built
+        at import time still honor a later bus reset in tests)."""
+        return self._progress if self._progress is not None else default_bus()
+
+    def _publish(self, event: str, **fields) -> None:
+        """Publish one progress event; a no-op without subscribers."""
+        bus = self.progress
+        if bus.subscriber_count() == 0:
+            return
+        bus.publish(event, **fields)
+
+    def _hit_rate(self) -> float:
+        looked_up = self.sim_hits + self.sim_misses
+        return round(self.sim_hits / looked_up, 4) if looked_up else 0.0
+
+    def _progress_event(
+        self, completed: int, total: int, started: float
+    ) -> None:
+        """One ``sweep_progress`` event: live counts, hit rate, ETA."""
+        bus = self.progress
+        if bus.subscriber_count() == 0:
+            return
+        elapsed = time.perf_counter() - started
+        eta = (
+            elapsed / completed * (total - completed) if completed else None
+        )
+        bus.publish(
+            "sweep_progress",
+            completed=completed,
+            total=total,
+            elapsed_s=round(elapsed, 3),
+            eta_s=round(eta, 3) if eta is not None else None,
+            cache_hit_rate=self._hit_rate(),
+        )
+
     # --- memoized primitives -------------------------------------------
 
     def simulate_application(
@@ -241,9 +290,21 @@ class SweepEngine:
                     clock_ghz,
                     profiler=self.profiler,
                 )
-                self._observe_point(time.perf_counter() - started)
+                elapsed = time.perf_counter() - started
+                self._observe_point(elapsed)
             self._sim_cache[key] = result
             self._checkpoint_store("sim", key, result)
+            # Publish on *miss* only: the collection pass at the end of
+            # simulate_many re-reads every point through this method,
+            # and those hits must not double-count progress.
+            self._publish(
+                "point",
+                kind="sim",
+                application=application,
+                clusters=config.clusters,
+                alus=config.alus_per_cluster,
+                seconds=round(elapsed, 6),
+            )
             return result
 
     def kernel_rate(self, kernel: str, config: ProcessorConfig) -> float:
@@ -260,11 +321,21 @@ class SweepEngine:
                 return cached
             self._count("rate", hit=False)
             with self.profiler.phase("sweep.kernel_rate"):
+                started = time.perf_counter()
                 rate = compile_kernel(
                     get_kernel(kernel), config
                 ).ops_per_cycle()
+                elapsed = time.perf_counter() - started
             self._rate_cache[key] = rate
             self._checkpoint_store("rate", key, rate)
+            self._publish(
+                "point",
+                kind="rate",
+                kernel=kernel,
+                clusters=config.clusters,
+                alus=config.alus_per_cluster,
+                seconds=round(elapsed, 6),
+            )
             return rate
 
     # --- grid fan-out ---------------------------------------------------
@@ -291,6 +362,13 @@ class SweepEngine:
                 if key not in self._rate_cache and key not in seen:
                     seen.add(key)
                     missing.append(key)
+            self._publish(
+                "sweep_start",
+                kind="compile",
+                total=len(points),
+                cached=len(points) - len(missing),
+            )
+            started = time.perf_counter()
             if missing:
                 with self.profiler.phase("sweep.compile_batch"):
                     schedules = compile_batch(
@@ -304,11 +382,21 @@ class SweepEngine:
                         max_retries=self.max_retries,
                         max_pool_failures=self.max_pool_failures,
                     )
-                for key, schedule in zip(missing, schedules):
+                for done, (key, schedule) in enumerate(
+                    zip(missing, schedules), start=1
+                ):
                     rate = schedule.ops_per_cycle()
                     self._rate_cache[key] = rate
                     self._count("rate", hit=False)
                     self._checkpoint_store("rate", key, rate)
+                    self._progress_event(done, len(missing), started)
+            self._publish(
+                "sweep_end",
+                kind="compile",
+                total=len(points),
+                computed=len(missing),
+                seconds=round(time.perf_counter() - started, 3),
+            )
             return [
                 self.kernel_rate(kernel, config) for kernel, config in points
             ]
@@ -339,15 +427,38 @@ class SweepEngine:
                     seen.add(key)
                     missing.append((application, config))
 
+            self._publish(
+                "sweep_start",
+                kind="simulate",
+                total=len(points),
+                cached=len(points) - len(missing),
+            )
+            started = time.perf_counter()
+            done = 0
             if missing and workers is not None and workers > 1:
-                self._fan_out(missing, node, clock_ghz, workers)
+                done = self._fan_out(
+                    missing, node, clock_ghz, workers, started
+                )
             for application, config in missing:
                 # Serial fill for whatever the pool did not cover (all
                 # of it when workers is None or pool startup failed).
+                key = (application, config, node, clock_ghz)
+                was_cached = key in self._sim_cache
                 self.simulate_application(
                     application, config, node, clock_ghz
                 )
+                if not was_cached:
+                    done += 1
+                    self._progress_event(done, len(missing), started)
 
+            self._publish(
+                "sweep_end",
+                kind="simulate",
+                total=len(points),
+                computed=len(missing),
+                seconds=round(time.perf_counter() - started, 3),
+                cache_hit_rate=self._hit_rate(),
+            )
             return [
                 self.simulate_application(application, config, node, clock_ghz)
                 for application, config in points
@@ -359,14 +470,21 @@ class SweepEngine:
         node: TechnologyNode,
         clock_ghz: float,
         workers: int,
-    ) -> None:
-        """Fill the cache for ``missing`` through the resilient pool.
+        sweep_started: Optional[float] = None,
+    ) -> int:
+        """Fill the cache for ``missing`` through the resilient pool;
+        returns how many points it completed (for progress counting).
 
         The :class:`~repro.resilience.executor.ResilientExecutor`
         absorbs hung/crashed workers and transient task failures with
         retries, quarantine and serial escalation; if even that fails
         the serial pass in :meth:`simulate_many` still computes every
         point, so a failed fan-out only costs time, never results.
+
+        Progress events for pooled points are published here, in the
+        daemon/CLI process, as results are collected — worker processes
+        have their own (unsubscribed) bus, so parent-side publishing is
+        what keeps ``/v1/progress`` live across the fan-out.
         """
         fault_point("sweep.fan_out")
         jobs = [
@@ -381,6 +499,8 @@ class SweepEngine:
             metrics=self.metrics,
         )
         started = time.perf_counter()
+        if sweep_started is None:
+            sweep_started = started
         try:
             with self.profiler.phase("sweep.fan_out"):
                 results = executor.map(_simulate_point, jobs)
@@ -392,9 +512,14 @@ class SweepEngine:
             # Sandboxes without fork/spawn, unpicklable platforms...
             if self.metrics is not None:
                 self.metrics.counter("sweep.fan_out.failures").inc()
-            return
+            log_event(
+                self._log, "sweep.fan_out_failed",
+                points=len(jobs), workers=workers,
+            )
+            return 0
         finally:
             self.last_executor_stats = executor.stats()
+        done = 0
         for (application, config), result in zip(missing, results):
             key = (application, config, node, clock_ghz)
             self._sim_cache[key] = result
@@ -403,6 +528,17 @@ class SweepEngine:
             self._observe_point(
                 (time.perf_counter() - started) / len(jobs)
             )
+            done += 1
+            self._publish(
+                "point",
+                kind="sim",
+                application=application,
+                clusters=config.clusters,
+                alus=config.alus_per_cluster,
+                pooled=True,
+            )
+            self._progress_event(done, len(missing), sweep_started)
+        return done
 
 
 _DEFAULT_ENGINE = SweepEngine()

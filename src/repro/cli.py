@@ -10,9 +10,16 @@ Commands
 ``report``     the performance studies plus a compile/cache summary
 ``headline``   check the paper's headline claims
 ``serve``      long-running JSON-over-HTTP daemon (see docs/serving.md)
+``loadgen``    drive a live daemon and report latency/throughput SLOs
 
 Commands that compile kernels take ``--cache-dir`` (re-point the
 persistent schedule cache) and ``--no-compile-cache`` (disable it).
+
+``--log-level``/``--log-json`` (top-level, also on ``serve`` and
+``loadgen``) turn on structured logging to stderr; unlogged runs emit
+nothing and stay bit-identical to previous releases.  When logging is
+on, the run gets a correlation id exported as ``REPRO_REQUEST_ID`` so
+worker processes, tracer instants, and log lines all join on it.
 
 ``costs``, ``compile``, ``simulate``, ``report`` and ``headline`` take
 ``--json``: machine-readable output as one versioned envelope
@@ -80,6 +87,46 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _config(args: argparse.Namespace) -> ProcessorConfig:
     return ProcessorConfig(args.clusters, args.alus)
+
+
+def _add_logging_arguments(
+    parser: argparse.ArgumentParser, suppress: bool = False
+) -> None:
+    """``--log-level``/``--log-json``; ``suppress`` is for subparsers
+    that repeat the top-level flags (argparse lets the subparser's
+    *default* clobber a value parsed by the main parser — SUPPRESS
+    leaves the attribute alone unless the flag actually appears)."""
+    parser.add_argument(
+        "--log-level", metavar="LEVEL",
+        default=argparse.SUPPRESS if suppress else None,
+        help="enable structured logging at LEVEL (DEBUG/INFO/WARNING...)"
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        default=argparse.SUPPRESS if suppress else False,
+        help="log JSON lines (one object per line) instead of "
+             "human-readable text"
+    )
+
+
+def _apply_logging_arguments(args: argparse.Namespace) -> None:
+    """Configure structured logging when asked; silent otherwise.
+
+    Enabling logging also exports a run-level correlation id
+    (``REPRO_REQUEST_ID``) unless one is already inherited, so sweep
+    worker processes and tracer instants join the run's log lines.
+    """
+    import os
+
+    from .obs.log import REQUEST_ID_ENV, configure, new_request_id
+
+    json_lines = getattr(args, "log_json", False)
+    level = getattr(args, "log_level", None)
+    if not json_lines and level is None:
+        return
+    configure(json_lines=json_lines, level=level or "INFO")
+    if not os.environ.get(REQUEST_ID_ENV):
+        os.environ[REQUEST_ID_ENV] = new_request_id()
 
 
 def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
@@ -538,11 +585,57 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
 
 
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from .obs.loadgen import (
+        LoadgenConfig,
+        build_loadgen_envelope,
+        render_report,
+        run_loadgen,
+    )
+    from .serve.client import ServeConnectionError
+
+    config = LoadgenConfig(
+        host=args.host,
+        port=args.port,
+        duration_s=args.duration,
+        concurrency=args.concurrency,
+        mode=args.mode,
+        rate=args.rate,
+        mix=args.mix,
+        request_timeout_s=args.timeout,
+    )
+    try:
+        report = run_loadgen(config)
+    except ServeConnectionError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    except ValueError as exc:  # bad --mix / --mode
+        print(exc, file=sys.stderr)
+        return 2
+    envelope = build_loadgen_envelope(
+        report, meta={"target": f"{args.host}:{args.port}"}
+    )
+    if args.out:
+        # Append one compact line per run: the perf-trajectory file
+        # (BENCH_serve.json) grows by one point per CI run.
+        with open(args.out, "a") as handle:
+            handle.write(
+                json.dumps(envelope, sort_keys=True,
+                           separators=(",", ":")) + "\n"
+            )
+    if args.json:
+        print(json.dumps(envelope, indent=2))
+    else:
+        print(render_report(report))
+    return 0 if report["overall"]["ok"] > 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Stream-processor VLSI scalability (HPCA 2003) tools",
     )
+    _add_logging_arguments(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     costs = sub.add_parser("costs", help="evaluate the VLSI cost model")
@@ -653,7 +746,41 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Chrome trace of the serving window "
                             "on shutdown")
     _add_cache_arguments(serve)
+    _add_logging_arguments(serve, suppress=True)
     serve.set_defaults(func=cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a live daemon with a mixed workload; report SLOs",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1",
+                         help="daemon address (default: 127.0.0.1)")
+    loadgen.add_argument("--port", type=int, default=8712,
+                         help="daemon port (default: 8712)")
+    loadgen.add_argument("--duration", type=float, default=5.0,
+                         help="seconds to drive load (default: 5)")
+    loadgen.add_argument("--concurrency", type=int, default=4,
+                         help="client workers (default: 4)")
+    loadgen.add_argument("--mode", choices=("closed", "open"),
+                         default="closed",
+                         help="closed: saturation-seeking (one in-flight "
+                              "request per worker); open: fixed-rate "
+                              "arrivals")
+    loadgen.add_argument("--rate", type=float, default=50.0,
+                         help="open-loop offered requests/second")
+    loadgen.add_argument("--mix", default="costs=6,compile=2,simulate=1",
+                         help="endpoint weights, e.g. "
+                              "costs=6,compile=2,simulate=1,sweep=1")
+    loadgen.add_argument("--timeout", type=float, default=120.0,
+                         help="per-request client timeout seconds")
+    loadgen.add_argument("--json", action="store_true",
+                         help="emit the SLO report as a versioned "
+                              "JSON envelope")
+    loadgen.add_argument("--out", metavar="PATH", default=None,
+                         help="append the envelope as one compact JSON "
+                              "line (perf-trajectory file)")
+    _add_logging_arguments(loadgen, suppress=True)
+    loadgen.set_defaults(func=cmd_loadgen)
 
     val = sub.add_parser(
         "validate", help="check every paper anchor (exit 1 on failure)"
@@ -676,6 +803,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _apply_logging_arguments(args)
     _apply_cache_arguments(args)
     _apply_checkpoint_arguments(args)
     if getattr(args, "task_timeout", None) is not None:

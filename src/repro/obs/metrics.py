@@ -7,6 +7,14 @@ spill/reload traffic.  At the end of a run the registry freezes into a
 :class:`MetricsSnapshot` that :class:`~repro.sim.metrics.SimulationResult`
 carries and the run manifest serializes.
 
+Histograms keep more than moments: every sample also lands in a fixed
+set of **log-spaced buckets** (:data:`BUCKET_BOUNDS`), so percentile
+estimates (:meth:`Histogram.quantile`, p50/p90/p99) come out of bounded
+memory with a deterministic, distribution-independent relative error —
+the serving daemon's latency SLOs are computed from exactly these
+buckets, and ``GET /metrics`` exposes them in Prometheus text format
+via :func:`render_prometheus`.
+
 The registry is also where accounting sanity-checks surface:
 :func:`accounting_warning` raises an :class:`AccountingWarning` through
 the standard :mod:`warnings` machinery instead of letting impossible
@@ -15,19 +23,24 @@ numbers (busy cycles beyond total cycles) clamp silently.
 
 from __future__ import annotations
 
+import re
 import warnings
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 __all__ = [
     "AccountingWarning",
+    "BUCKET_BOUNDS",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricValue",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "QUANTILE_RELATIVE_ERROR_BOUND",
     "accounting_warning",
+    "render_prometheus",
 ]
 
 
@@ -66,13 +79,39 @@ class Gauge:
         self.value = value
 
 
-class Histogram:
-    """A distribution summarized as count/total/min/max.
+#: Buckets per decade of the shared log-spaced bucket grid.  24 per
+#: decade makes adjacent bounds differ by 10^(1/24) ~ 1.101, so a
+#: geometric interpolation inside one bucket is off by at most half a
+#: bucket width — comfortably inside the advertised 5% relative bound.
+_BUCKETS_PER_DECADE = 24
 
-    The simulator's distributions (stream-op latency, transfer sizes)
-    are consumed as summary statistics in reports and manifests, so the
-    histogram stores moments rather than raw samples.
+#: The grid spans 1e-9 .. 1e9 (18 decades): nanoseconds to gigaseconds
+#: when observing seconds, single words to gigawords when observing
+#: sizes.  Everything below the first bound shares the underflow
+#: bucket; everything above the last shares the overflow bucket.
+BUCKET_BOUNDS: Tuple[float, ...] = tuple(
+    10.0 ** (i / _BUCKETS_PER_DECADE)
+    for i in range(-9 * _BUCKETS_PER_DECADE, 9 * _BUCKETS_PER_DECADE + 1)
+)
+
+#: The relative error the bucketed quantile estimate is allowed versus
+#: an exact sorted-sample oracle (tests/test_obs_quantiles.py enforces
+#: it on golden distributions; loadgen reports record it).
+QUANTILE_RELATIVE_ERROR_BOUND = 0.05
+
+
+class Histogram:
+    """A distribution: moment summary plus fixed log-spaced buckets.
+
+    The moment scalars (count/total/min/max/mean) are what reports and
+    manifests consumed before percentiles existed and are unchanged.
+    The bucket counts are bounded memory (one int per grid bucket,
+    allocated on first observe) and deterministic — the same samples
+    always produce the same buckets — which is what makes
+    :meth:`quantile` regression-comparable across runs.
     """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_buckets")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -80,6 +119,7 @@ class Histogram:
         self.total: Union[int, float] = 0
         self.min: Optional[Union[int, float]] = None
         self.max: Optional[Union[int, float]] = None
+        self._buckets: Optional[List[int]] = None
 
     def observe(self, value: Union[int, float]) -> None:
         """Fold one sample into the distribution."""
@@ -87,11 +127,106 @@ class Histogram:
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        if self._buckets is None:
+            self._buckets = [0] * (len(BUCKET_BOUNDS) + 1)
+        self._buckets[bisect_left(BUCKET_BOUNDS, value)] += 1
 
     @property
     def mean(self) -> float:
         """Arithmetic mean of the observed samples (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def bucket_counts(self) -> Tuple[Tuple[float, int], ...]:
+        """The non-empty buckets as ``(upper_bound, count)`` pairs.
+
+        The final pair's bound is ``inf`` for overflow samples.  Pairs
+        are per-bucket (not cumulative) and ascending by bound.
+        """
+        if not self._buckets:
+            return ()
+        out: List[Tuple[float, int]] = []
+        for index, bucket_count in enumerate(self._buckets):
+            if bucket_count:
+                bound = (
+                    BUCKET_BOUNDS[index]
+                    if index < len(BUCKET_BOUNDS)
+                    else float("inf")
+                )
+                out.append((bound, bucket_count))
+        return tuple(out)
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) from the buckets.
+
+        Inside the containing bucket the estimate interpolates
+        geometrically (matching the log spacing) and is then clamped to
+        the exactly-tracked ``[min, max]``, so a distribution confined
+        to one bucket — or a constant — still estimates within
+        :data:`QUANTILE_RELATIVE_ERROR_BOUND` of the true value.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if not self.count or self._buckets is None:
+            return 0.0
+        assert self.min is not None and self.max is not None
+        target = max(1.0, q * self.count)
+        cumulative = 0
+        for index, bucket_count in enumerate(self._buckets):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= target:
+                lo = BUCKET_BOUNDS[index - 1] if index > 0 else self.min
+                hi = (
+                    BUCKET_BOUNDS[index]
+                    if index < len(BUCKET_BOUNDS)
+                    else self.max
+                )
+                lo = max(float(lo), float(self.min))
+                hi = min(float(hi), float(self.max))
+                if lo >= hi:
+                    value = hi
+                else:
+                    fraction = (target - cumulative) / bucket_count
+                    if lo > 0:
+                        value = lo * (hi / lo) ** fraction
+                    else:
+                        value = lo + (hi - lo) * fraction
+                return min(max(value, float(self.min)), float(self.max))
+            cumulative += bucket_count
+        return float(self.max)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's samples into this one (shared grid,
+        so bucket counts add exactly — loadgen aggregates per-endpoint
+        distributions into an overall one this way)."""
+        if not other.count:
+            return
+        self.count += other.count
+        self.total += other.total
+        assert other.min is not None and other.max is not None
+        self.min = other.min if self.min is None else min(self.min, other.min)
+        self.max = other.max if self.max is None else max(self.max, other.max)
+        if other._buckets is not None:
+            if self._buckets is None:
+                self._buckets = list(other._buckets)
+            else:
+                for index, bucket_count in enumerate(other._buckets):
+                    self._buckets[index] += bucket_count
+
+    @property
+    def p50(self) -> float:
+        """Estimated median."""
+        return self.quantile(0.50)
+
+    @property
+    def p90(self) -> float:
+        """Estimated 90th percentile."""
+        return self.quantile(0.90)
+
+    @property
+    def p99(self) -> float:
+        """Estimated 99th percentile."""
+        return self.quantile(0.99)
 
 
 @dataclass(frozen=True)
@@ -108,25 +243,34 @@ class MetricsSnapshot:
     """An immutable, hashable view of a registry at one moment.
 
     Histograms flatten into ``name.count`` / ``name.total`` /
-    ``name.min`` / ``name.max`` / ``name.mean`` entries so the snapshot
-    stays a flat namespace of scalars.
+    ``name.min`` / ``name.max`` / ``name.mean`` / ``name.p50`` /
+    ``name.p90`` / ``name.p99`` entries so the snapshot stays a flat
+    namespace of scalars.
     """
 
     entries: Tuple[MetricValue, ...] = ()
     warnings: Tuple[str, ...] = ()
 
+    @property
+    def _by_name(self) -> Dict[str, Union[int, float]]:
+        """Name-to-value index, built once per snapshot (lookups on the
+        stats endpoint and in tests are hot; scanning the entries tuple
+        per ``[]`` made them O(n))."""
+        cached = self.__dict__.get("_name_index")
+        if cached is None:
+            cached = {entry.name: entry.value for entry in self.entries}
+            object.__setattr__(self, "_name_index", cached)
+        return cached
+
     def as_dict(self) -> Dict[str, Union[int, float]]:
         """The snapshot as a plain ``{name: value}`` dictionary."""
-        return {entry.name: entry.value for entry in self.entries}
+        return dict(self._by_name)
 
     def __getitem__(self, name: str) -> Union[int, float]:
-        for entry in self.entries:
-            if entry.name == name:
-                return entry.value
-        raise KeyError(name)
+        return self._by_name[name]
 
     def __contains__(self, name: str) -> bool:
-        return any(entry.name == name for entry in self.entries)
+        return name in self._by_name
 
 
 class MetricsRegistry:
@@ -158,6 +302,12 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         """The histogram called ``name``, created on first use."""
         return self._get(name, Histogram)
+
+    def instruments(self) -> Dict[str, Any]:
+        """The live instruments by name (shared objects, not copies) —
+        what bucket-aware consumers like :func:`render_prometheus` walk
+        instead of the flattened snapshot."""
+        return dict(self._instruments)
 
     def warn(self, message: str) -> None:
         """Record an accounting anomaly and surface it as a warning."""
@@ -192,8 +342,75 @@ class MetricsRegistry:
                         MetricValue(
                             f"{name}.mean", "histogram", instrument.mean
                         ),
+                        MetricValue(
+                            f"{name}.p50", "histogram", instrument.p50
+                        ),
+                        MetricValue(
+                            f"{name}.p90", "histogram", instrument.p90
+                        ),
+                        MetricValue(
+                            f"{name}.p99", "histogram", instrument.p99
+                        ),
                     )
                 )
         return MetricsSnapshot(
             entries=tuple(entries), warnings=tuple(self._warnings)
         )
+
+
+# --- Prometheus text exposition ------------------------------------------
+
+_PROM_NAME = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str, namespace: str) -> str:
+    """Map a dotted metric name onto the Prometheus grammar."""
+    flat = _PROM_NAME.sub("_", name)
+    return f"{namespace}_{flat}" if namespace else flat
+
+
+def _prom_value(value: Union[int, float]) -> str:
+    """Prometheus float formatting (ints stay integral)."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(
+    registry: MetricsRegistry, namespace: str = "repro"
+) -> str:
+    """The registry in Prometheus text exposition format (0.0.4).
+
+    Counters and gauges become single samples; histograms become
+    cumulative ``_bucket{le="..."}`` series (only the occupied bounds
+    plus ``+Inf`` are emitted — a sparse but valid encoding of the
+    fixed log-spaced grid) with ``_sum`` and ``_count``.  The daemon's
+    ``GET /metrics`` endpoint serves exactly this text.
+    """
+    lines: List[str] = []
+    instruments = registry.instruments()
+    for name in sorted(instruments):
+        instrument = instruments[name]
+        prom = _prom_name(name, namespace)
+        if isinstance(instrument, Counter):
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {_prom_value(instrument.value)}")
+        elif isinstance(instrument, Gauge):
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {_prom_value(instrument.value)}")
+        else:
+            lines.append(f"# TYPE {prom} histogram")
+            cumulative = 0
+            for bound, bucket_count in instrument.bucket_counts():
+                cumulative += bucket_count
+                if bound != float("inf"):
+                    lines.append(
+                        f'{prom}_bucket{{le="{repr(float(bound))}"}} '
+                        f"{cumulative}"
+                    )
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {instrument.count}')
+            lines.append(f"{prom}_sum {_prom_value(instrument.total)}")
+            lines.append(f"{prom}_count {instrument.count}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,168 @@
+"""Bounded in-process pub/sub bus for streaming progress events.
+
+Long sweeps were a black box: the daemon accepted the request and said
+nothing until the full result envelope came back.  The
+:class:`ProgressBus` fixes that with the smallest machinery that works —
+a process-local fan-out of small JSON-able event dicts from publishers
+(:class:`~repro.analysis.sweep.SweepEngine` per-point completions, the
+daemon's request lifecycle) to subscribers (the ``GET /v1/progress``
+streaming endpoint, tests).
+
+Design constraints, in order:
+
+* **Zero cost when nobody listens.**  Publishing with no subscribers is
+  one lock acquisition and a length check; no event dict is built.  A
+  seed-identical batch run never pays for the feature.
+* **Bounded memory.**  Each subscription holds at most ``max_queue``
+  events; a slow or stuck consumer drops its *oldest* events (counted in
+  ``Subscription.dropped``) rather than growing the queue or blocking
+  the publisher — a sweep must never stall because an HTTP client went
+  to lunch.
+* **Total order.**  Events carry a bus-wide monotone ``seq`` stamped
+  under the publish lock, so consumers can detect their own gaps.
+
+Events are plain dicts with at least ``event`` (kind), ``seq``, and
+``ts``; publishers attach the bound request id from
+:func:`repro.obs.log.current_request_id` so progress streams join logs
+and traces on the same key.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from .log import current_request_id
+
+__all__ = ["ProgressBus", "Subscription", "default_bus", "reset_default_bus"]
+
+
+class Subscription:
+    """One consumer's bounded view of the bus; iterate with :meth:`get`."""
+
+    def __init__(
+        self,
+        bus: "ProgressBus",
+        max_queue: int,
+        request_id: Optional[str] = None,
+    ):
+        self._bus = bus
+        self._request_id = request_id
+        self._events: Deque[Dict[str, Any]] = deque(maxlen=max_queue)
+        self._cond = threading.Condition()
+        self._closed = False
+        #: Events discarded because this consumer fell ``max_queue``
+        #: behind the publisher.
+        self.dropped = 0
+
+    def _offer(self, event: Dict[str, Any]) -> None:
+        if self._request_id is not None and \
+                event.get("request_id") != self._request_id:
+            return
+        with self._cond:
+            if self._closed:
+                return
+            if len(self._events) == self._events.maxlen:
+                self.dropped += 1
+            self._events.append(event)
+            self._cond.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """Next event, or ``None`` if ``timeout`` expires or the
+        subscription was closed while empty."""
+        with self._cond:
+            if not self._events:
+                self._cond.wait(timeout)
+            if self._events:
+                return self._events.popleft()
+            return None
+
+    def close(self) -> None:
+        """Detach from the bus and wake any blocked :meth:`get`."""
+        self._bus.unsubscribe(self)
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+
+class ProgressBus:
+    """Thread-safe fan-out of progress events to bounded subscribers."""
+
+    def __init__(self, max_queue: int = 512):
+        self.max_queue = max_queue
+        self._lock = threading.Lock()
+        self._subscribers: List[Subscription] = []
+        self._seq = 0
+        #: Total events published while at least one subscriber listened.
+        self.published = 0
+
+    def subscriber_count(self) -> int:
+        """How many subscriptions are attached (cheap, for publishers)."""
+        with self._lock:
+            return len(self._subscribers)
+
+    def subscribe(self, request_id: Optional[str] = None) -> Subscription:
+        """Attach a consumer; ``request_id`` filters to one request's
+        events (events without a matching id are skipped)."""
+        sub = Subscription(self, self.max_queue, request_id)
+        with self._lock:
+            self._subscribers.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        """Detach ``sub``; idempotent."""
+        with self._lock:
+            try:
+                self._subscribers.remove(sub)
+            except ValueError:
+                pass
+
+    def publish(self, event: str, **fields: Any) -> Optional[Dict[str, Any]]:
+        """Fan ``event`` out to current subscribers.
+
+        Returns the stamped event dict, or ``None`` when nobody is
+        subscribed (the fast path: no dict is even built).  The bound
+        request id is attached automatically unless ``fields`` already
+        carries one.
+        """
+        with self._lock:
+            if not self._subscribers:
+                return None
+            self._seq += 1
+            doc: Dict[str, Any] = {
+                "event": event,
+                "seq": self._seq,
+                "ts": round(time.time(), 6),
+            }
+            if "request_id" not in fields:
+                rid = current_request_id()
+                if rid is not None:
+                    doc["request_id"] = rid
+            doc.update(fields)
+            self.published += 1
+            subscribers = list(self._subscribers)
+        for sub in subscribers:
+            sub._offer(doc)
+        return doc
+
+
+_default_bus: Optional[ProgressBus] = None
+_default_lock = threading.Lock()
+
+
+def default_bus() -> ProgressBus:
+    """The process-wide bus shared by the sweep engine and the daemon."""
+    global _default_bus
+    with _default_lock:
+        if _default_bus is None:
+            _default_bus = ProgressBus()
+        return _default_bus
+
+
+def reset_default_bus() -> None:
+    """Discard the shared bus (test isolation)."""
+    global _default_bus
+    with _default_lock:
+        _default_bus = None

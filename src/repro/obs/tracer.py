@@ -21,6 +21,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from .log import current_request_id
+
 __all__ = ["Span", "Tracer", "NullTracer", "PrefixedTracer", "NULL_TRACER"]
 
 
@@ -80,7 +82,16 @@ class Tracer:
     def instant(
         self, resource: str, label: str, time: int, **detail: Any
     ) -> None:
-        """Record a zero-duration marker (a spill, a livelock abort...)."""
+        """Record a zero-duration marker (a spill, a livelock abort...).
+
+        When a request id is bound (:func:`repro.obs.log.bind_request_id`)
+        it is attached to the marker's detail automatically, so Chrome
+        trace instants join logs and progress events on the same key.
+        """
+        if "request_id" not in detail:
+            request_id = current_request_id()
+            if request_id is not None:
+                detail["request_id"] = request_id
         self._instants.append(
             Span(resource, label, time, time, tuple(sorted(detail.items())))
         )

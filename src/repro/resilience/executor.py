@@ -26,13 +26,17 @@ on the ``resilience`` lane so recoveries show up on timelines.
 
 from __future__ import annotations
 
+import logging
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.log import get_logger, log_event
 from ..obs.tracer import NULL_TRACER, Tracer
 from .faults import mark_worker_process
 
 __all__ = ["ResilientExecutor"]
+
+_LOG = get_logger("resilience")
 
 #: Counter names the executor maintains (mirrored as ``resilience.<name>``).
 COUNTERS = (
@@ -119,8 +123,16 @@ class ResilientExecutor:
             self.metrics.counter(f"resilience.{name}").inc(amount)
 
     def _event(self, label: str, **detail) -> None:
+        """One recovery event, to both the tracer (instant on the
+        ``resilience`` lane, request id auto-attached when bound) and
+        the structured log — recoveries are exactly what an operator
+        greps a request id for."""
         if self.tracer.enabled:
             self.tracer.instant("resilience", label, 0, **detail)
+        log_event(
+            _LOG, f"resilience.{label}",
+            level=logging.WARNING, **detail,
+        )
 
     def _backoff(self, round_index: int) -> None:
         if self.backoff_base <= 0:
@@ -273,6 +285,9 @@ class ResilientExecutor:
                         raise
                     except FuturesTimeout:
                         self._count("timeouts")
+                        self._event(
+                            "task timeout", index=i, attempt=attempts[i]
+                        )
                         attempts[i] += 1
                         # One wedged worker poisons pool throughput;
                         # retire them all rather than guess which.

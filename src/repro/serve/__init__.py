@@ -9,7 +9,7 @@ cached by the shared sweep-engine memo and compile caches.  See
 """
 
 from .batching import MicroBatcher, QueueFull
-from .client import ServeClient, ServeResponse
+from .client import ServeClient, ServeConnectionError, ServeResponse
 from .daemon import ReproServer, ServerConfig, run_server
 
 __all__ = [
@@ -17,6 +17,7 @@ __all__ = [
     "QueueFull",
     "ReproServer",
     "ServeClient",
+    "ServeConnectionError",
     "ServeResponse",
     "ServerConfig",
     "run_server",

@@ -46,8 +46,10 @@ class MicroBatcher:
     Parameters
     ----------
     runner:
-        ``runner(requests) -> outcomes`` executed on the dispatcher
-        thread; must return one outcome per request, in order, and
+        ``runner(requests, request_ids) -> outcomes`` executed on the
+        dispatcher thread; ``request_ids`` is one list of correlation
+        ids per request (coalesced waiters contribute theirs to the
+        same list).  Must return one outcome per request, in order, and
         never raise for per-request failures (wrap them in the outcome)
         — a raise fails the whole batch.
     max_queue:
@@ -66,7 +68,7 @@ class MicroBatcher:
 
     def __init__(
         self,
-        runner: Callable[[Sequence[Any]], List[Any]],
+        runner: Callable[[Sequence[Any], Sequence[List[str]]], List[Any]],
         *,
         max_queue: int = 64,
         window_s: float = 0.005,
@@ -82,8 +84,13 @@ class MicroBatcher:
         self.deduped = 0
         self.batches = 0
         self.executed = 0
-        self._pending: Deque[Tuple[str, Any, asyncio.Future]] = deque()
-        self._inflight: Dict[str, asyncio.Future] = {}
+        # Pending/in-flight entries carry the mutable list of member
+        # request ids so coalesced waiters correlate to the one batch
+        # that serves them all.
+        self._pending: Deque[
+            Tuple[str, Any, asyncio.Future, List[str]]
+        ] = deque()
+        self._inflight: Dict[str, Tuple[asyncio.Future, List[str]]] = {}
         self._wakeup: Optional[asyncio.Event] = None
         self._task: Optional[asyncio.Task] = None
         self._pool = ThreadPoolExecutor(
@@ -147,27 +154,36 @@ class MicroBatcher:
         if self.metrics is not None:
             self.metrics.gauge("serve.queue_depth").set(len(self._pending))
 
-    def submit(self, key: str, request: Any) -> "asyncio.Future":
+    def submit(
+        self, key: str, request: Any, request_id: Optional[str] = None
+    ) -> "asyncio.Future":
         """Enqueue ``request`` (or coalesce onto an identical in-flight
         one); returns the future every coalesced waiter shares.
+
+        ``request_id`` joins the member-id list of whichever batch entry
+        serves this waiter — coalesced requests share one computation
+        but each keeps its own correlation id.
 
         Must be called from the event-loop thread.  Raises
         :class:`QueueFull` when the pending queue is at capacity.
         """
         self.submitted += 1
         existing = self._inflight.get(key)
-        if existing is not None and not existing.done():
+        if existing is not None and not existing[0].done():
             self.deduped += 1
+            if request_id is not None:
+                existing[1].append(request_id)
             if self.metrics is not None:
                 self.metrics.counter("serve.dedup_hits").inc()
-            return existing
+            return existing[0]
         if len(self._pending) >= self.max_queue:
             raise QueueFull(
                 f"pending queue at capacity ({self.max_queue} requests)"
             )
         future = asyncio.get_running_loop().create_future()
-        self._inflight[key] = future
-        self._pending.append((key, request, future))
+        request_ids: List[str] = [] if request_id is None else [request_id]
+        self._inflight[key] = (future, request_ids)
+        self._pending.append((key, request, future, request_ids))
         self._gauge_depth()
         assert self._wakeup is not None and self._idle is not None
         self._idle.clear()
@@ -187,7 +203,7 @@ class MicroBatcher:
                 continue
             if self.window_s > 0:
                 await asyncio.sleep(self.window_s)
-            batch: List[Tuple[str, Any, asyncio.Future]] = []
+            batch: List[Tuple[str, Any, asyncio.Future, List[str]]] = []
             while self._pending and len(batch) < self.max_batch:
                 batch.append(self._pending.popleft())
             self._gauge_depth()
@@ -199,19 +215,23 @@ class MicroBatcher:
             if self.metrics is not None:
                 self.metrics.counter("serve.batches").inc()
                 self.metrics.histogram("serve.batch_size").observe(len(batch))
-            requests = [request for _, request, _ in batch]
+            requests = [request for _, request, _, _ in batch]
+            # Snapshot the id lists *after* the drain: coalesces that
+            # arrive later attach to a fresh entry, so these lists are
+            # complete for this batch.
+            request_ids = [list(rids) for _, _, _, rids in batch]
             started = time.perf_counter()
             try:
                 outcomes = await loop.run_in_executor(
-                    self._pool, self.runner, requests
+                    self._pool, self.runner, requests, request_ids
                 )
             except asyncio.CancelledError:
-                for _, _, future in batch:
+                for _, _, future, _ in batch:
                     if not future.done():
                         future.cancel()
                 raise
             except BaseException as exc:  # runner bug: fail the batch
-                for key, _, future in batch:
+                for key, _, future, _ in batch:
                     if not future.done():
                         future.set_exception(exc)
                     self._forget(key, future)
@@ -220,7 +240,7 @@ class MicroBatcher:
                 self.metrics.histogram("serve.batch_seconds").observe(
                     time.perf_counter() - started
                 )
-            for (key, _, future), outcome in zip(batch, outcomes):
+            for (key, _, future, _), outcome in zip(batch, outcomes):
                 self.executed += 1
                 if not future.done():
                     future.set_result(outcome)
@@ -232,5 +252,6 @@ class MicroBatcher:
         """Drop the in-flight entry once its computation completed (a
         *new* identical request afterwards recomputes — and hits the
         warm caches — rather than reusing a stale future forever)."""
-        if self._inflight.get(key) is future:
+        entry = self._inflight.get(key)
+        if entry is not None and entry[0] is future:
             del self._inflight[key]

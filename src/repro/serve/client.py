@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 from http.client import HTTPConnection
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 from ..api import (
     CompileRequest,
@@ -26,7 +26,12 @@ from ..api import (
     SweepRequest,
 )
 
-__all__ = ["ServeClient", "ServeResponse"]
+__all__ = ["ServeClient", "ServeConnectionError", "ServeResponse"]
+
+
+class ServeConnectionError(ConnectionError):
+    """The daemon is unreachable; the message names the target address
+    so "connection refused" is immediately actionable."""
 
 
 class ServeResponse:
@@ -59,6 +64,11 @@ class ServeResponse:
         """Seconds the server asked us to wait (429/503), else ``None``."""
         value = self.headers.get("retry-after")
         return float(value) if value is not None else None
+
+    @property
+    def request_id(self) -> Optional[str]:
+        """The correlation id the daemon assigned (``X-Request-Id``)."""
+        return self.headers.get("x-request-id")
 
 
 class ServeClient:
@@ -99,55 +109,90 @@ class ServeClient:
     # --- transport ------------------------------------------------------
 
     def request(
-        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        request_id: Optional[str] = None,
     ) -> ServeResponse:
-        """One round-trip; reconnects once if the keep-alive went stale."""
+        """One round-trip; reconnects once if the keep-alive went stale.
+
+        ``request_id`` is sent as ``X-Request-Id`` so the daemon adopts
+        the caller's correlation id instead of minting one.  Raises
+        :class:`ServeConnectionError` (naming ``host:port``) when the
+        daemon cannot be reached at all.
+        """
         payload = (
             json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
             if body is not None
             else None
         )
+        headers: Dict[str, str] = {}
+        if payload is not None:
+            headers["Content-Type"] = "application/json"
+        if request_id is not None:
+            headers["X-Request-Id"] = request_id
         for attempt in (0, 1):
             conn = self._connection()
             try:
-                conn.request(
-                    method,
-                    path,
-                    body=payload,
-                    headers={"Content-Type": "application/json"}
-                    if payload is not None
-                    else {},
-                )
+                conn.request(method, path, body=payload, headers=headers)
                 response = conn.getresponse()
                 raw = response.read()
-                headers = {
+                response_headers = {
                     name.lower(): value
                     for name, value in response.getheaders()
                 }
                 decoded = json.loads(raw.decode("utf-8")) if raw else {}
-                return ServeResponse(response.status, headers, decoded)
+                return ServeResponse(
+                    response.status, response_headers, decoded
+                )
+            except ConnectionRefusedError as exc:
+                self.close()
+                raise ServeConnectionError(
+                    f"cannot reach repro daemon at "
+                    f"{self.host}:{self.port} (connection refused — is "
+                    f"`repro serve` running?)"
+                ) from exc
             except (ConnectionError, BrokenPipeError, OSError):
                 self.close()
                 if attempt:
                     raise
         raise RuntimeError("unreachable")  # pragma: no cover
 
-    def post(self, kind: str, body: Dict[str, Any]) -> ServeResponse:
+    def post(
+        self,
+        kind: str,
+        body: Dict[str, Any],
+        request_id: Optional[str] = None,
+    ) -> ServeResponse:
         """POST one API request body to ``/v1/<kind>``."""
-        return self.request("POST", f"/v1/{kind}", body)
+        return self.request("POST", f"/v1/{kind}", body, request_id)
 
     # --- typed helpers --------------------------------------------------
 
-    def costs(self, clusters: int = 8, alus: int = 5) -> ServeResponse:
+    def costs(
+        self,
+        clusters: int = 8,
+        alus: int = 5,
+        request_id: Optional[str] = None,
+    ) -> ServeResponse:
         """Query the cost model at ``(clusters, alus)``."""
-        return self.post("costs", CostQuery(clusters, alus).to_dict())
+        return self.post(
+            "costs", CostQuery(clusters, alus).to_dict(), request_id
+        )
 
     def compile(
-        self, kernel: str, clusters: int = 8, alus: int = 5
+        self,
+        kernel: str,
+        clusters: int = 8,
+        alus: int = 5,
+        request_id: Optional[str] = None,
     ) -> ServeResponse:
         """Compile ``kernel`` for ``(clusters, alus)``."""
         return self.post(
-            "compile", CompileRequest(kernel, clusters, alus).to_dict()
+            "compile",
+            CompileRequest(kernel, clusters, alus).to_dict(),
+            request_id,
         )
 
     def simulate(
@@ -157,6 +202,7 @@ class ServeClient:
         alus: int = 5,
         clock_ghz: float = 1.0,
         max_events: Optional[int] = None,
+        request_id: Optional[str] = None,
     ) -> ServeResponse:
         """Simulate ``application`` on ``(clusters, alus)``."""
         return self.post(
@@ -164,6 +210,7 @@ class ServeClient:
             SimulateRequest(
                 application, clusters, alus, clock_ghz, max_events
             ).to_dict(),
+            request_id,
         )
 
     def sweep(
@@ -171,9 +218,12 @@ class ServeClient:
         target: str,
         apps: bool = False,
         workers: Optional[int] = None,
+        request_id: Optional[str] = None,
     ) -> ServeResponse:
         """Regenerate the ``target`` figure/table study."""
-        return self.post("sweep", SweepRequest(target, apps, workers).to_dict())
+        return self.post(
+            "sweep", SweepRequest(target, apps, workers).to_dict(), request_id
+        )
 
     def stats(self) -> ServeResponse:
         """Fetch the daemon's cache/queue/dedup counters."""
@@ -183,6 +233,57 @@ class ServeClient:
         """Fetch the full metrics-registry snapshot."""
         return self.request("GET", "/v1/metrics")
 
+    def prometheus_metrics(self) -> str:
+        """Fetch ``GET /metrics`` as raw Prometheus exposition text."""
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            return response.read().decode("utf-8")
+        finally:
+            conn.close()
+
     def health(self) -> ServeResponse:
         """Liveness probe (``/healthz``)."""
         return self.request("GET", "/healthz")
+
+    # --- progress streaming ---------------------------------------------
+
+    def progress(
+        self,
+        request_id: Optional[str] = None,
+        max_s: float = 600.0,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield progress events from ``GET /v1/progress`` as they land.
+
+        Runs on a dedicated connection (the stream is close-delimited,
+        so it cannot share the keep-alive one).  Filtered to
+        ``request_id`` when given; ends at server deadline, on the
+        watched request's ``request_end`` event, or when the generator
+        is closed.
+        """
+        query = f"max_s={max_s}"
+        if request_id is not None:
+            query = f"request_id={request_id}&{query}"
+        conn = HTTPConnection(self.host, self.port, timeout=max_s + 30.0)
+        try:
+            conn.request("GET", f"/v1/progress?{query}")
+            response = conn.getresponse()
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if not line or line.startswith(b":"):
+                    continue  # heartbeat / separator
+                if line.startswith(b"data: "):
+                    yield json.loads(line[len(b"data: "):].decode("utf-8"))
+        except ServeConnectionError:
+            raise
+        except ConnectionRefusedError as exc:
+            raise ServeConnectionError(
+                f"cannot reach repro daemon at {self.host}:{self.port} "
+                f"(connection refused — is `repro serve` running?)"
+            ) from exc
+        finally:
+            conn.close()

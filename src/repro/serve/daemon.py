@@ -6,10 +6,20 @@ answers every :mod:`repro.api` request kind over a tiny JSON protocol:
 * ``GET  /healthz`` — liveness (plain JSON, no envelope)
 * ``GET  /v1/stats`` — cache/queue/dedup/executor counters
 * ``GET  /v1/metrics`` — the full metrics-registry snapshot
+* ``GET  /metrics`` — the same registry in Prometheus text format
+* ``GET  /v1/progress?request_id=...`` — SSE-style progress stream
 * ``POST /v1/costs`` — :class:`repro.api.CostQuery`
 * ``POST /v1/compile`` — :class:`repro.api.CompileRequest`
 * ``POST /v1/simulate`` — :class:`repro.api.SimulateRequest`
 * ``POST /v1/sweep`` — :class:`repro.api.SweepRequest`
+
+Every request gets a **correlation id**: the sanitized ``X-Request-Id``
+header if the client sent one, else a freshly minted id.  The id comes
+back in the ``X-Request-Id`` response header and the envelope's
+``meta.request_id``, is bound (:func:`repro.obs.log.bind_request_id`)
+around execution so structured log lines, tracer instant events, and
+progress-bus events all carry it, and rides through micro-batch
+coalescing — one batch logs the ids of *all* its member requests.
 
 Request bodies are the request dataclass's ``to_dict()`` JSON; responses
 are versioned envelopes (:func:`repro.obs.manifest.build_envelope`)
@@ -47,8 +57,10 @@ from __future__ import annotations
 import asyncio
 import json
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
+from urllib.parse import parse_qs, urlsplit
 
 from ..api import (
     ApiError,
@@ -57,8 +69,17 @@ from ..api import (
     execute,
     request_from_dict,
 )
+from ..obs.log import (
+    bind_request_id,
+    current_request_id,
+    get_logger,
+    log_event,
+    new_request_id,
+    sanitize_request_id,
+)
 from ..obs.manifest import build_envelope
-from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import MetricsRegistry, render_prometheus
+from ..obs.progress import default_bus
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..resilience.executor import ResilientExecutor
 from .batching import MicroBatcher, QueueFull
@@ -105,23 +126,31 @@ class ServerConfig:
     trace_path: Optional[str] = None
 
 
-def _safe_execute(request: Any) -> Tuple[str, Any]:
-    """Run one API request, never raising for per-request failures.
+def _safe_execute(item: Tuple[Optional[str], Any]) -> Tuple[str, Any]:
+    """Run one ``(request_id, request)`` pair, never raising for
+    per-request failures.
 
     Module-level and picklable so the persistent process pool can run
     it; deterministic failures (bad names, internal bugs) come back as
     ``("error", (code, message))`` outcomes instead of exceptions, so
     the resilient executor never burns retries on them — its retry
     machinery stays reserved for genuine pool crashes and hangs.
+
+    The request id is bound around the execution (and exported to the
+    environment, the ``REPRO_FAULT_PLAN`` propagation pattern) so every
+    log line, tracer instant, and progress event the computation emits
+    — including from sweep fan-out worker processes — carries it.
     """
-    try:
-        return ("ok", execute(request))
-    except ApiError as exc:
-        return ("error", ("bad_request", str(exc)))
-    except (KeyboardInterrupt, SystemExit):
-        raise
-    except Exception as exc:
-        return ("error", ("internal", f"{type(exc).__name__}: {exc}"))
+    request_id, request = item
+    with bind_request_id(request_id, propagate_env=request_id is not None):
+        try:
+            return ("ok", execute(request))
+        except ApiError as exc:
+            return ("error", ("bad_request", str(exc)))
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            return ("error", ("internal", f"{type(exc).__name__}: {exc}"))
 
 
 class ReproServer:
@@ -153,13 +182,35 @@ class ReproServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
         self._started_monotonic = 0.0
+        self._log = get_logger("serve")
+        self._bus = default_bus()
+        # Recently finished request ids, so a /v1/progress subscriber
+        # that connects after its request completed gets an immediate
+        # request_end instead of hanging until its deadline.
+        self._finished: Deque[Tuple[str, int]] = deque(maxlen=256)
 
     # --- execution ------------------------------------------------------
 
-    def _run_batch(self, requests) -> list:
+    def _run_batch(
+        self, requests: Sequence[Any], request_ids: Sequence[List[str]]
+    ) -> list:
         """Dispatcher-thread batch body: fan the batch through the
-        persistent executor (serial in-process when ``workers<=1``)."""
-        return self.executor.map(_safe_execute, requests)
+        persistent executor (serial in-process when ``workers<=1``).
+
+        One log line carries *every* member id — coalesced waiters
+        included — so a request id always joins the batch that served
+        it.  Each request executes under its originating (first) id.
+        """
+        members = [rid for rids in request_ids for rid in rids]
+        log_event(
+            self._log, "serve.batch",
+            size=len(requests), request_ids=members,
+        )
+        items = [
+            (rids[0] if rids else None, request)
+            for request, rids in zip(requests, request_ids)
+        ]
+        return self.executor.map(_safe_execute, items)
 
     # --- lifecycle ------------------------------------------------------
 
@@ -234,14 +285,27 @@ class ReproServer:
                 if request is None:
                     break
                 method, path, headers, body = request
+                request_id = headers.get("x-request-id", "").strip()
+                request_id = (
+                    sanitize_request_id(request_id)
+                    if request_id
+                    else new_request_id()
+                )
+                if path.split("?", 1)[0] == "/v1/progress":
+                    # Streaming endpoint: writes its own response and
+                    # always closes the connection afterwards.
+                    await self._handle_progress(writer, method, path)
+                    break
                 started = time.perf_counter()
-                status, payload = await self._route(method, path, body)
-                self._observe(method, path, status, started)
+                with bind_request_id(request_id):
+                    status, payload = await self._route(method, path, body)
+                self._observe(method, path, status, started, request_id)
                 keep_alive = (
                     headers.get("connection", "").lower() != "close"
                 )
                 await self._write_response(
-                    writer, status, payload, keep_alive
+                    writer, status, payload, keep_alive,
+                    extra_headers=[f"X-Request-Id: {request_id}"],
                 )
                 if not keep_alive:
                     break
@@ -290,13 +354,21 @@ class ReproServer:
         return (method, path, headers, body)
 
     def _observe(
-        self, method: str, path: str, status: int, started: float
+        self,
+        method: str,
+        path: str,
+        status: int,
+        started: float,
+        request_id: Optional[str] = None,
     ) -> None:
         endpoint = path.rsplit("/", 1)[-1] or "root"
         self.metrics.counter(f"serve.requests.{endpoint}").inc()
         self.metrics.counter(f"serve.responses.{status}").inc()
         elapsed = time.perf_counter() - started
         self.metrics.histogram("serve.request_seconds").observe(elapsed)
+        self.metrics.histogram(f"serve.request_seconds.{endpoint}").observe(
+            elapsed
+        )
         if self.tracer.enabled:
             finish = self._now_us()
             self.tracer.span(
@@ -306,13 +378,38 @@ class ReproServer:
                 finish,
                 status=status,
             )
+            self.tracer.instant(
+                "serve.http",
+                "serve.request",
+                finish,
+                request_id=request_id,
+                status=status,
+                path=path,
+            )
+        log_event(
+            self._log, "serve.request",
+            request_id=request_id,
+            method=method, path=path, status=status,
+            duration_ms=round(elapsed * 1000.0, 3),
+        )
+        kind = path[len("/v1/"):] if path.startswith("/v1/") else None
+        if kind in REQUEST_KINDS and request_id is not None:
+            self._finished.append((request_id, status))
+            self._bus.publish(
+                "request_end",
+                request_id=request_id, kind=kind, status=status,
+            )
 
     # --- routing --------------------------------------------------------
 
     async def _route(
         self, method: str, path: str, body: bytes
-    ) -> Tuple[int, Dict[str, Any]]:
-        """Dispatch one parsed request to its handler; never raises."""
+    ) -> Tuple[int, Union[Dict[str, Any], str]]:
+        """Dispatch one parsed request to its handler; never raises.
+
+        Payloads are JSON dictionaries except ``GET /metrics``, which
+        returns pre-rendered Prometheus text.
+        """
         try:
             if body == b"__too_large__":
                 return self._error(
@@ -343,6 +440,12 @@ class ReproServer:
                         data={"metrics": self.metrics.snapshot().as_dict()},
                     ),
                 )
+            if path == "/metrics":
+                if method != "GET":
+                    return self._error(
+                        path, 405, "method_not_allowed", "use GET"
+                    )
+                return (200, render_prometheus(self.metrics))
             if path.startswith("/v1/"):
                 kind = path[len("/v1/"):]
                 if kind in REQUEST_KINDS:
@@ -386,8 +489,11 @@ class ReproServer:
             request = request_from_dict(kind, data)
         except ApiError as exc:
             return self._error(path, 400, "bad_request", str(exc))
+        request_id = current_request_id()
         try:
-            future = self.batcher.submit(dedup_key(request), request)
+            future = self.batcher.submit(
+                dedup_key(request), request, request_id=request_id
+            )
         except QueueFull as exc:
             envelope = self._error(path, 429, "queue_full", str(exc))
             return envelope
@@ -416,45 +522,163 @@ class ReproServer:
             return self._error(
                 path, _ERROR_STATUS.get(code, 500), code, message
             )
-        meta = {
+        meta: Dict[str, Any] = {
             "duration_ms": round(
                 (time.perf_counter() - started) * 1000.0, 3
             ),
         }
+        if request_id is not None:
+            meta["request_id"] = request_id
         return (200, build_envelope(kind, data=value.to_dict(), meta=meta))
 
     async def _write_response(
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: Dict[str, Any],
+        payload: Union[Dict[str, Any], str],
         keep_alive: bool,
+        extra_headers: Optional[List[str]] = None,
     ) -> None:
-        body = json.dumps(
-            payload, sort_keys=True, separators=(",", ":")
-        ).encode("utf-8")
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(
+                payload, sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+            content_type = "application/json"
         headers = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
         if status in (429, 503):
             headers.append("Retry-After: 1")
+        headers.extend(extra_headers or [])
         writer.write(
             ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body
         )
         await writer.drain()
 
+    # --- progress streaming ---------------------------------------------
+
+    async def _handle_progress(
+        self, writer: asyncio.StreamWriter, method: str, path: str
+    ) -> None:
+        """Stream progress-bus events as SSE-style ``data:`` lines.
+
+        ``GET /v1/progress?request_id=<id>&max_s=<seconds>`` subscribes
+        to the in-process bus (filtered to one request when an id is
+        given) and writes one ``data: {json}`` line per event over a
+        close-delimited chunk stream.  The stream ends when the watched
+        request publishes ``request_end``, when ``max_s`` expires, or
+        when the client disconnects — a stuck consumer can only ever
+        drop its own events (the bus queue is bounded), never stall a
+        sweep.
+        """
+        query = parse_qs(urlsplit(path).query)
+        request_id = (query.get("request_id") or [None])[0]
+        if request_id:
+            request_id = sanitize_request_id(request_id)
+        try:
+            max_s = float((query.get("max_s") or ["600"])[0])
+        except ValueError:
+            max_s = 600.0
+        if method != "GET":
+            await self._write_response(
+                writer,
+                405,
+                self._error(path, 405, "method_not_allowed", "use GET")[1],
+                keep_alive=False,
+            )
+            return
+        writer.write(
+            (
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: text/event-stream\r\n"
+                "Cache-Control: no-cache\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+        )
+        await writer.drain()
+        loop = asyncio.get_running_loop()
+        subscription = self._bus.subscribe(request_id)
+        self.metrics.counter("serve.progress.streams").inc()
+        try:
+            # A request that finished before this subscriber attached
+            # would never publish again; answer from the finished ring.
+            if request_id is not None:
+                for done_id, status in self._finished:
+                    if done_id == request_id:
+                        await self._send_event(
+                            writer,
+                            {
+                                "event": "request_end",
+                                "request_id": request_id,
+                                "status": status,
+                                "replay": True,
+                            },
+                        )
+                        return
+            deadline = time.perf_counter() + max_s
+            idle_polls = 0
+            while time.perf_counter() < deadline:
+                event = await loop.run_in_executor(
+                    None, subscription.get, 0.5
+                )
+                if event is None:
+                    idle_polls += 1
+                    if idle_polls >= 10:
+                        # Comment line per SSE: keeps half-open
+                        # connections detectable without fabricating
+                        # events.
+                        writer.write(b": keep-alive\n\n")
+                        await writer.drain()
+                        idle_polls = 0
+                    continue
+                idle_polls = 0
+                await self._send_event(writer, event)
+                if (
+                    event.get("event") == "request_end"
+                    and request_id is not None
+                ):
+                    return
+        except (ConnectionError, OSError):
+            pass  # client went away; unsubscribe below
+        finally:
+            subscription.close()
+
+    async def _send_event(
+        self, writer: asyncio.StreamWriter, event: Dict[str, Any]
+    ) -> None:
+        line = json.dumps(event, sort_keys=True, separators=(",", ":"))
+        writer.write(f"data: {line}\n\n".encode("utf-8"))
+        await writer.drain()
+        self.metrics.counter("serve.progress.events").inc()
+
 
 def run_server(config: ServerConfig) -> int:
     """Run the daemon until SIGTERM/SIGINT, then drain; returns the
-    process exit code (0 for a clean drain)."""
+    process exit code (0 for a clean drain, 2 when the port is taken)."""
     import signal
+    import sys
 
-    async def _serve() -> bool:
+    async def _serve() -> int:
         server = ReproServer(config)
-        await server.start()
+        try:
+            await server.start()
+        except OSError as exc:
+            # The common operational mistake — another daemon already
+            # on the port — deserves one actionable line, not a
+            # traceback.
+            print(
+                f"repro serve: cannot bind "
+                f"{config.host}:{config.port} ({exc.strerror or exc})",
+                file=sys.stderr,
+                flush=True,
+            )
+            return 2
         stop = asyncio.get_running_loop().create_future()
 
         def _request_stop(*_args) -> None:
@@ -495,10 +719,9 @@ def run_server(config: ServerConfig) -> int:
             ),
         }
         print(f"repro serve: drained {json.dumps(summary)}", flush=True)
-        return clean
+        return 0 if clean else 1
 
     try:
-        clean = asyncio.run(_serve())
+        return asyncio.run(_serve())
     except KeyboardInterrupt:
         return 0
-    return 0 if clean else 1

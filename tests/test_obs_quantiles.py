@@ -1,0 +1,203 @@
+"""Golden tests for the bucketed quantile estimator.
+
+The serving SLOs (loadgen, ``GET /metrics``) are computed from
+:class:`repro.obs.metrics.Histogram`'s fixed log-spaced buckets, so the
+estimator's advertised relative-error bound
+(:data:`~repro.obs.metrics.QUANTILE_RELATIVE_ERROR_BOUND`) is a
+contract: every quantile estimate must land within that bound of a
+sorted-sample oracle, across distribution shapes including the
+adversarial everything-in-one-bucket case.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    QUANTILE_RELATIVE_ERROR_BOUND,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+)
+
+QUANTILES = (0.50, 0.90, 0.99)
+
+
+def _oracle(samples, q):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def _relative_error(histogram, samples, q):
+    truth = _oracle(samples, q)
+    return abs(histogram.quantile(q) - truth) / truth
+
+
+def _fill(samples):
+    histogram = Histogram("test")
+    for sample in samples:
+        histogram.observe(sample)
+    return histogram
+
+
+class TestBucketGrid:
+    def test_bounds_are_sorted_and_log_spaced(self):
+        assert list(BUCKET_BOUNDS) == sorted(BUCKET_BOUNDS)
+        ratios = [
+            hi / lo for lo, hi in zip(BUCKET_BOUNDS, BUCKET_BOUNDS[1:])
+        ]
+        assert max(ratios) / min(ratios) == pytest.approx(1.0, rel=1e-9)
+        # adjacent-bound ratio must keep one bucket inside the error
+        # bound: sqrt(ratio) - 1 is the worst-case interpolation error
+        assert math.sqrt(ratios[0]) - 1 < QUANTILE_RELATIVE_ERROR_BOUND
+
+    def test_grid_spans_nanoseconds_to_gigaseconds(self):
+        assert BUCKET_BOUNDS[0] == pytest.approx(1e-9)
+        assert BUCKET_BOUNDS[-1] == pytest.approx(1e9)
+
+
+class TestGoldenQuantiles:
+    def test_uniform(self):
+        rng = random.Random(11)
+        samples = [rng.uniform(0.001, 0.250) for _ in range(5000)]
+        histogram = _fill(samples)
+        for q in QUANTILES:
+            error = _relative_error(histogram, samples, q)
+            assert error <= QUANTILE_RELATIVE_ERROR_BOUND, (q, error)
+
+    def test_log_normal(self):
+        rng = random.Random(7)
+        samples = [rng.lognormvariate(-4.0, 1.2) for _ in range(5000)]
+        histogram = _fill(samples)
+        for q in QUANTILES:
+            error = _relative_error(histogram, samples, q)
+            assert error <= QUANTILE_RELATIVE_ERROR_BOUND, (q, error)
+
+    def test_adversarial_single_bucket(self):
+        # all samples inside one bucket: [min, max] clamping must keep
+        # the estimate inside the bound even though the grid cannot
+        # resolve anything within the bucket
+        lo, hi = BUCKET_BOUNDS[100], BUCKET_BOUNDS[101]
+        rng = random.Random(3)
+        samples = [
+            lo + (hi - lo) * 1e-6 + rng.uniform(0, (hi - lo) * 0.9)
+            for _ in range(2000)
+        ]
+        histogram = _fill(samples)
+        for q in QUANTILES:
+            error = _relative_error(histogram, samples, q)
+            assert error <= QUANTILE_RELATIVE_ERROR_BOUND, (q, error)
+
+    def test_constant_distribution_is_exact(self):
+        histogram = _fill([0.0125] * 100)
+        for q in QUANTILES:
+            assert histogram.quantile(q) == pytest.approx(0.0125)
+
+    def test_two_spikes(self):
+        samples = [0.001] * 90 + [1.0] * 10
+        histogram = _fill(samples)
+        assert histogram.quantile(0.5) == pytest.approx(0.001, rel=0.05)
+        assert histogram.quantile(0.99) == pytest.approx(1.0, rel=0.05)
+
+
+class TestHistogramMechanics:
+    def test_empty_quantile_is_zero(self):
+        assert Histogram("empty").quantile(0.5) == 0.0
+
+    def test_quantile_domain_checked(self):
+        with pytest.raises(ValueError):
+            _fill([1.0]).quantile(1.5)
+
+    def test_bucket_counts_sum_to_count(self):
+        rng = random.Random(5)
+        histogram = _fill([rng.uniform(0.0, 10.0) for _ in range(500)])
+        assert sum(c for _, c in histogram.bucket_counts()) == 500
+
+    def test_underflow_and_overflow_samples(self):
+        histogram = _fill([1e-12, 1e12])
+        bounds = [bound for bound, _ in histogram.bucket_counts()]
+        assert bounds[0] == BUCKET_BOUNDS[0]
+        assert bounds[-1] == float("inf")
+        assert histogram.quantile(0.0) >= 1e-12
+        assert histogram.quantile(1.0) == pytest.approx(1e12)
+
+    def test_merge_matches_single_histogram(self):
+        rng = random.Random(9)
+        left = [rng.lognormvariate(-3.0, 0.8) for _ in range(1000)]
+        right = [rng.lognormvariate(-2.0, 0.5) for _ in range(1000)]
+        merged = _fill(left)
+        merged.merge(_fill(right))
+        direct = _fill(left + right)
+        assert merged.count == direct.count
+        assert merged.total == pytest.approx(direct.total)
+        assert merged.min == direct.min
+        assert merged.max == direct.max
+        assert merged.bucket_counts() == direct.bucket_counts()
+        for q in QUANTILES:
+            assert merged.quantile(q) == pytest.approx(direct.quantile(q))
+
+    def test_merge_into_empty(self):
+        source = _fill([0.5, 1.5])
+        target = Histogram("target")
+        target.merge(source)
+        assert target.count == 2
+        assert target.bucket_counts() == source.bucket_counts()
+        # merged buckets must be an independent copy
+        target.observe(0.5)
+        assert source.count == 2
+
+
+class TestSnapshotPercentiles:
+    def test_snapshot_emits_percentile_scalars(self):
+        registry = MetricsRegistry()
+        for value in (0.010, 0.020, 0.030):
+            registry.histogram("latency").observe(value)
+        snapshot = registry.snapshot()
+        # backward-compatible moment scalars stay present...
+        for suffix in ("count", "total", "min", "max", "mean"):
+            assert f"latency.{suffix}" in snapshot
+        # ...and the new percentile scalars ride alongside
+        for suffix in ("p50", "p90", "p99"):
+            assert f"latency.{suffix}" in snapshot
+        assert snapshot["latency.p50"] == pytest.approx(0.020, rel=0.05)
+        assert "latency.p75" not in snapshot
+
+    def test_snapshot_lookup_matches_as_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc(3)
+        snapshot = registry.snapshot()
+        assert snapshot["events"] == 3
+        assert snapshot.as_dict()["events"] == 3
+
+
+class TestPrometheusRendering:
+    def test_counter_gauge_histogram_families(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc(4)
+        registry.gauge("serve.queue_depth").set(2)
+        for value in (0.010, 0.010, 0.500):
+            registry.histogram("serve.request_seconds").observe(value)
+        text = render_prometheus(registry)
+        assert text.endswith("\n")
+        assert "# TYPE repro_serve_requests counter" in text
+        assert "repro_serve_requests 4" in text
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert "# TYPE repro_serve_request_seconds histogram" in text
+        assert 'repro_serve_request_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_serve_request_seconds_count 3" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat")
+        for value in (0.001, 0.001, 1.0):
+            histogram.observe(value)
+        text = render_prometheus(registry, namespace="")
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith('lat_bucket{')
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3

@@ -1,0 +1,166 @@
+"""Tests for the progress bus (:mod:`repro.obs.progress`) and the sweep
+engine's streaming progress events: ordering, filtering, bounded-queue
+drop behavior, zero-cost publishing, and the ``/v1/progress`` endpoint.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.analysis.sweep import SweepEngine
+from repro.core.config import ProcessorConfig
+from repro.obs.log import bind_request_id
+from repro.obs.progress import (
+    ProgressBus,
+    default_bus,
+    reset_default_bus,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_default_bus():
+    reset_default_bus()
+    yield
+    reset_default_bus()
+
+
+def _drain(subscription):
+    events = []
+    while True:
+        event = subscription.get(timeout=0)
+        if event is None:
+            return events
+        events.append(event)
+
+
+class TestBus:
+    def test_publish_without_subscribers_is_free(self):
+        bus = ProgressBus()
+        assert bus.publish("point", n=1) is None
+        assert bus.published == 0
+
+    def test_events_arrive_in_order_with_monotone_seq(self):
+        bus = ProgressBus()
+        subscription = bus.subscribe()
+        for n in range(5):
+            bus.publish("point", n=n)
+        events = _drain(subscription)
+        assert [e["n"] for e in events] == list(range(5))
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == 5
+        assert all("ts" in e for e in events)
+
+    def test_request_id_filtering(self):
+        bus = ProgressBus()
+        subscription = bus.subscribe(request_id="mine")
+        bus.publish("point", request_id="mine", n=1)
+        bus.publish("point", request_id="theirs", n=2)
+        bus.publish("point", n=3)  # no id at all
+        events = _drain(subscription)
+        assert [e["n"] for e in events] == [1]
+
+    def test_bound_request_id_is_attached(self):
+        bus = ProgressBus()
+        subscription = bus.subscribe()
+        with bind_request_id("rid-77"):
+            bus.publish("point")
+        assert _drain(subscription)[0]["request_id"] == "rid-77"
+
+    def test_explicit_id_beats_bound_id(self):
+        bus = ProgressBus()
+        subscription = bus.subscribe()
+        with bind_request_id("bound"):
+            bus.publish("point", request_id="explicit")
+        assert _drain(subscription)[0]["request_id"] == "explicit"
+
+    def test_slow_consumer_drops_oldest(self):
+        bus = ProgressBus(max_queue=3)
+        subscription = bus.subscribe()
+        for n in range(6):
+            bus.publish("point", n=n)
+        events = _drain(subscription)
+        assert [e["n"] for e in events] == [3, 4, 5]  # oldest dropped
+        assert subscription.dropped == 3
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = ProgressBus()
+        subscription = bus.subscribe()
+        bus.unsubscribe(subscription)
+        assert bus.subscriber_count() == 0
+        bus.publish("point", n=1)
+        assert _drain(subscription) == []
+
+    def test_close_wakes_blocked_get(self):
+        bus = ProgressBus()
+        subscription = bus.subscribe()
+        got = []
+
+        def consume():
+            got.append(subscription.get(timeout=5.0))
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        time.sleep(0.05)
+        subscription.close()
+        thread.join(5.0)
+        assert not thread.is_alive()
+        assert got == [None]
+
+    def test_default_bus_is_shared_until_reset(self):
+        bus = default_bus()
+        assert default_bus() is bus
+        reset_default_bus()
+        assert default_bus() is not bus
+
+
+class TestEnginePublishing:
+    def test_simulate_many_event_ordering(self):
+        bus = ProgressBus()
+        engine = SweepEngine(progress=bus)
+        subscription = bus.subscribe()
+        points = [("fft1k", ProcessorConfig(4, 3)),
+                  ("fft1k", ProcessorConfig(8, 3))]
+        engine.simulate_many(points)
+        events = _drain(subscription)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "sweep_start"
+        assert kinds[-1] == "sweep_end"
+        assert kinds.count("point") == 2
+        assert kinds.count("sweep_progress") == 2
+        start = events[0]
+        assert start["kind"] == "simulate"
+        assert start["total"] == 2 and start["cached"] == 0
+        progress = [e for e in events if e["event"] == "sweep_progress"]
+        assert [p["completed"] for p in progress] == [1, 2]
+        assert all(p["total"] == 2 for p in progress)
+        end = events[-1]
+        assert end["computed"] == 2
+
+    def test_cached_rerun_publishes_no_points(self):
+        bus = ProgressBus()
+        engine = SweepEngine(progress=bus)
+        points = [("fft1k", ProcessorConfig(4, 3))]
+        engine.simulate_many(points)  # warm (no subscriber yet)
+        subscription = bus.subscribe()
+        engine.simulate_many(points)
+        events = _drain(subscription)
+        kinds = [e["event"] for e in events]
+        assert kinds == ["sweep_start", "sweep_end"]
+        assert events[0]["cached"] == 1
+
+    def test_compile_kernels_events(self):
+        bus = ProgressBus()
+        engine = SweepEngine(progress=bus)
+        subscription = bus.subscribe()
+        engine.compile_kernels([("fft", ProcessorConfig(8, 5))])
+        events = _drain(subscription)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "sweep_start" and kinds[-1] == "sweep_end"
+        assert events[0]["kind"] == "compile"
+
+    def test_no_subscriber_costs_nothing(self):
+        bus = ProgressBus()
+        engine = SweepEngine(progress=bus)
+        engine.simulate_many([("fft1k", ProcessorConfig(4, 3))])
+        assert bus.published == 0

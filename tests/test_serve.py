@@ -10,10 +10,13 @@ per-request 504s, and a clean SIGTERM drain of the real
 
 import asyncio
 import contextlib
+import io
 import json
+import logging
 import os
 import re
 import signal
+import socket
 import subprocess
 import sys
 import threading
@@ -30,7 +33,13 @@ from repro.api import (
     SweepRequest,
     execute,
 )
-from repro.serve import ReproServer, ServeClient, ServerConfig
+from repro.serve import (
+    ReproServer,
+    ServeClient,
+    ServeConnectionError,
+    ServerConfig,
+    run_server,
+)
 
 
 def _canonical(data):
@@ -281,3 +290,238 @@ class TestGracefulDrain:
         assert proc.returncode == 0, out
         assert "draining" in out
         assert '"clean_drain": true' in out
+
+
+class TestRequestCorrelation:
+    def test_minted_id_in_header_and_meta(self, client):
+        response = client.costs(8, 5)
+        rid = response.request_id
+        assert rid and len(rid) == 12
+        assert response.payload["meta"]["request_id"] == rid
+
+    def test_client_supplied_id_adopted(self, client):
+        response = client.costs(8, 5, request_id="my-test-id-01")
+        assert response.request_id == "my-test-id-01"
+        assert response.payload["meta"]["request_id"] == "my-test-id-01"
+
+    def test_hostile_header_sanitized(self, client):
+        from repro.obs.log import sanitize_request_id
+
+        hostile = "bad id!{}" + "x" * 100
+        response = client.costs(8, 5, request_id=hostile)
+        rid = response.request_id
+        assert rid == sanitize_request_id(hostile)
+        assert len(rid) == 64
+        assert " " not in rid and "!" not in rid
+
+    def test_each_request_gets_a_fresh_id(self, client):
+        first = client.costs(8, 5).request_id
+        second = client.costs(8, 5).request_id
+        assert first != second
+
+
+class TestPrometheusEndpoint:
+    def test_exposition_text(self, client):
+        assert client.costs(8, 5).status == 200
+        text = client.prometheus_metrics()
+        assert "# TYPE repro_serve_request_seconds histogram" in text
+        assert 'repro_serve_request_seconds_bucket{le="+Inf"}' in text
+        assert "repro_serve_request_seconds_sum" in text
+        assert "# TYPE repro_serve_requests_costs counter" in text
+
+
+class TestProgressEndpoint:
+    def _wait_for_subscriber(self, server, timeout=5.0):
+        deadline = time.perf_counter() + timeout
+        while time.perf_counter() < deadline:
+            if server._bus.subscriber_count() >= 1:
+                return
+            time.sleep(0.01)
+        raise AssertionError("progress subscriber never attached")
+
+    def test_stream_ordering_and_termination(self):
+        rid = "progress-rid-7"
+        with running_server() as server:
+            events = []
+
+            def watch():
+                with ServeClient("127.0.0.1", server.port) as watcher:
+                    for event in watcher.progress(
+                        request_id=rid, max_s=30.0
+                    ):
+                        events.append(event)
+
+            thread = threading.Thread(target=watch)
+            thread.start()
+            self._wait_for_subscriber(server)
+            with ServeClient("127.0.0.1", server.port) as c:
+                assert c.sweep(
+                    "table5", request_id=rid
+                ).status == 200
+            thread.join(30)
+            assert not thread.is_alive()
+        assert events, "no progress events streamed"
+        assert all(e.get("request_id") == rid for e in events)
+        assert events[-1]["event"] == "request_end"
+        assert events[-1]["status"] == 200
+        seqs = [e["seq"] for e in events if "seq" in e]
+        assert seqs == sorted(seqs)
+        assert events[0]["event"] == "sweep_start"
+        assert any(e["event"] == "sweep_end" for e in events)
+
+    def test_replay_for_already_finished_request(self):
+        rid = "finished-rid-1"
+        with running_server() as server:
+            with ServeClient("127.0.0.1", server.port) as c:
+                assert c.costs(6, 4, request_id=rid).status == 200
+                events = list(c.progress(request_id=rid, max_s=10.0))
+        assert len(events) == 1
+        assert events[0]["event"] == "request_end"
+        assert events[0]["request_id"] == rid
+        assert events[0]["replay"] is True
+
+    def test_post_is_rejected(self):
+        with running_server() as server:
+            with ServeClient("127.0.0.1", server.port) as c:
+                response = c.request("POST", "/v1/progress?max_s=1")
+            assert response.status == 405
+
+    def test_disconnect_releases_subscription(self):
+        with running_server() as server:
+            with ServeClient("127.0.0.1", server.port) as c:
+                stream = c.progress(max_s=10.0)
+                got = []
+                # The generator is lazy: the first next() opens the
+                # connection, then blocks until an event arrives.
+                thread = threading.Thread(
+                    target=lambda: got.append(next(stream))
+                )
+                thread.start()
+                self._wait_for_subscriber(server)
+                with ServeClient("127.0.0.1", server.port) as other:
+                    assert other.costs(5, 3).status == 200
+                thread.join(10)
+                assert not thread.is_alive()
+                assert got and got[0]["event"] == "request_end"
+                stream.close()  # client walks away mid-stream
+                # The next published event hits the dead socket; the
+                # handler must unsubscribe and the daemon keep serving.
+                with ServeClient("127.0.0.1", server.port) as other:
+                    assert other.costs(5, 4).status == 200
+                    assert other.costs(5, 5).status == 200
+                deadline = time.perf_counter() + 10.0
+                while time.perf_counter() < deadline:
+                    if server._bus.subscriber_count() == 0:
+                        break
+                    time.sleep(0.05)
+                assert server._bus.subscriber_count() == 0
+
+
+class TestCorrelationAcrossSurfaces:
+    def test_sweep_fanout_joins_logs_trace_and_progress(self, tmp_path):
+        """One request id, three surfaces: a fan-out sweep's id must be
+        findable in the JSON logs (incl. its batch), the Chrome trace
+        instants, and the ``/v1/progress`` stream."""
+        from repro.analysis.sweep import clear_sweep_cache
+        from repro.obs.log import ROOT_LOGGER, configure, validate_log_line
+
+        stream = io.StringIO()
+        root = logging.getLogger(ROOT_LOGGER)
+        previous_level = root.level
+        configure(json_lines=True, level="INFO", stream=stream)
+        rid = "corr-rid-01"
+        events = []
+        try:
+            clear_sweep_cache()
+            with running_server(
+                trace_path=str(tmp_path / "trace.json")
+            ) as server:
+
+                def watch():
+                    with ServeClient("127.0.0.1", server.port) as w:
+                        for event in w.progress(
+                            request_id=rid, max_s=120.0
+                        ):
+                            events.append(event)
+
+                thread = threading.Thread(target=watch)
+                thread.start()
+                deadline = time.perf_counter() + 5.0
+                while (
+                    server._bus.subscriber_count() < 1
+                    and time.perf_counter() < deadline
+                ):
+                    time.sleep(0.01)
+                with ServeClient(
+                    "127.0.0.1", server.port, timeout=300.0
+                ) as c:
+                    response = c.sweep("fig15", workers=2, request_id=rid)
+                assert response.status == 200
+                thread.join(60)
+                trace = json.loads(server.tracer.to_chrome_json())
+        finally:
+            for handler in list(root.handlers):
+                if getattr(handler, "_repro_installed", False):
+                    root.removeHandler(handler)
+            root.setLevel(previous_level)
+        # Surface 1: structured logs — the request line and its batch.
+        docs = [
+            json.loads(line)
+            for line in stream.getvalue().strip().splitlines()
+        ]
+        for doc in docs:
+            validate_log_line(doc)
+        assert any(
+            d["event"] == "serve.request" and d["request_id"] == rid
+            for d in docs
+        )
+        assert any(
+            d["event"] == "serve.batch"
+            and rid in d.get("fields", {}).get("request_ids", [])
+            for d in docs
+        )
+        # Surface 2: the Chrome trace carries instants with the id.
+        instants = [
+            e for e in trace["traceEvents"]
+            if e.get("ph") == "i"
+            and e.get("args", {}).get("request_id") == rid
+        ]
+        assert instants
+        # Surface 3: the progress stream saw the sweep end-to-end,
+        # including pool-collected points from the executor fan-out.
+        assert events and all(
+            e.get("request_id") == rid for e in events
+        )
+        assert events[-1]["event"] == "request_end"
+        assert any(
+            e["event"] == "point" and e.get("pooled") for e in events
+        )
+        assert any(e["event"] == "sweep_progress" for e in events)
+
+
+class TestOperationalFailures:
+    def test_bound_port_fails_fast_with_exit_2(self, capsys):
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            rc = run_server(ServerConfig(host="127.0.0.1", port=port))
+        finally:
+            blocker.close()
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert f"cannot bind 127.0.0.1:{port}" in err
+        assert len(err.strip().splitlines()) == 1  # one line, no trace
+
+    def test_connection_refused_names_target(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+        probe.close()
+        with ServeClient("127.0.0.1", free_port) as c:
+            with pytest.raises(ServeConnectionError) as excinfo:
+                c.health()
+        message = str(excinfo.value)
+        assert f"127.0.0.1:{free_port}" in message
+        assert "repro serve" in message
