@@ -48,7 +48,9 @@ class HeadlineReport:
         return 1.0 - self.perf_per_area / self.perf_per_area_baseline
 
 
-def _report(config, include_apps: bool) -> HeadlineReport:
+def _report(
+    config, include_apps: bool, mode: str = "simulated"
+) -> HeadlineReport:
     base_model = CostModel(BASELINE_CONFIG)
     model = CostModel(config)
     feas = feasibility(config, TECH_45NM)
@@ -56,7 +58,7 @@ def _report(config, include_apps: bool) -> HeadlineReport:
     def perf_area(cfg) -> float:
         return harmonic_mean(
             [
-                performance_per_area(cfg, kernel_rate(name, cfg))
+                performance_per_area(cfg, kernel_rate(name, cfg, mode))
                 for name in PERFORMANCE_SUITE
             ]
         )
@@ -69,11 +71,13 @@ def _report(config, include_apps: bool) -> HeadlineReport:
         energy_per_op_overhead=(
             model.energy_per_alu_op() / base_model.energy_per_alu_op()
         ),
-        kernel_speedup=kernel_harmonic_speedup(config),
+        kernel_speedup=kernel_harmonic_speedup(config, mode),
         application_speedup=(
-            application_harmonic_speedup(config) if include_apps else 0.0
+            application_harmonic_speedup(config, mode=mode)
+            if include_apps
+            else 0.0
         ),
-        kernel_gops=kernel_harmonic_gops(config),
+        kernel_gops=kernel_harmonic_gops(config, mode=mode),
         peak_gops=feas.peak_gops,
         power_watts=feas.power_watts,
         perf_per_area=perf_area(config),
@@ -81,11 +85,15 @@ def _report(config, include_apps: bool) -> HeadlineReport:
     )
 
 
-def headline_640(include_apps: bool = True) -> HeadlineReport:
+def headline_640(
+    include_apps: bool = True, mode: str = "simulated"
+) -> HeadlineReport:
     """H1: the 640-ALU C=128/N=5 machine versus the 40-ALU baseline."""
-    return _report(HEADLINE_640, include_apps)
+    return _report(HEADLINE_640, include_apps, mode)
 
 
-def headline_1280(include_apps: bool = True) -> HeadlineReport:
+def headline_1280(
+    include_apps: bool = True, mode: str = "simulated"
+) -> HeadlineReport:
     """H2: the 1280-ALU C=128/N=10 machine versus the 40-ALU baseline."""
-    return _report(HEADLINE_1280, include_apps)
+    return _report(HEADLINE_1280, include_apps, mode)

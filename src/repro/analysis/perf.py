@@ -38,9 +38,11 @@ TABLE5_N_VALUES = (2, 5, 10, 14)
 TABLE5_C_VALUES = (8, 16, 32, 64, 128)
 
 
-def kernel_rate(name: str, config: ProcessorConfig) -> float:
+def kernel_rate(
+    name: str, config: ProcessorConfig, mode: str = "simulated"
+) -> float:
     """Sustained inner-loop ALU operations per cycle, whole chip."""
-    return default_engine().kernel_rate(name, config)
+    return default_engine().kernel_rate(name, config, mode)
 
 
 @dataclass(frozen=True)
@@ -53,24 +55,27 @@ class KernelSpeedupSeries:
 
 def figure13_kernel_speedups(
     n_values: Sequence[int] = FIG13_N_VALUES,
+    mode: str = "simulated",
 ) -> List[KernelSpeedupSeries]:
     """Figure 13: intracluster kernel speedups over C=8/N=5, at C=8."""
     return _kernel_speedups(
-        [ProcessorConfig(BASELINE[0], n) for n in n_values]
+        [ProcessorConfig(BASELINE[0], n) for n in n_values], mode
     )
 
 
 def figure14_kernel_speedups(
     c_values: Sequence[int] = FIG14_C_VALUES,
+    mode: str = "simulated",
 ) -> List[KernelSpeedupSeries]:
     """Figure 14: intercluster kernel speedups over C=8/N=5, at N=5."""
     return _kernel_speedups(
-        [ProcessorConfig(c, BASELINE[1]) for c in c_values]
+        [ProcessorConfig(c, BASELINE[1]) for c in c_values], mode
     )
 
 
 def _kernel_speedups(
     configs: Sequence[ProcessorConfig],
+    mode: str = "simulated",
 ) -> List[KernelSpeedupSeries]:
     engine = default_engine()
     baseline = ProcessorConfig(*BASELINE)
@@ -79,17 +84,18 @@ def _kernel_speedups(
             (name, config)
             for name in PERFORMANCE_SUITE
             for config in [baseline, *configs]
-        ]
+        ],
+        mode=mode,
     )
     series: List[KernelSpeedupSeries] = []
     per_config_speedups: Dict[ProcessorConfig, List[float]] = {
         c: [] for c in configs
     }
     for name in PERFORMANCE_SUITE:
-        base_rate = engine.kernel_rate(name, baseline)
+        base_rate = engine.kernel_rate(name, baseline, mode)
         points = []
         for config in configs:
-            speedup = engine.kernel_rate(name, config) / base_rate
+            speedup = engine.kernel_rate(name, config, mode) / base_rate
             points.append((config, speedup))
             per_config_speedups[config].append(speedup)
         series.append(KernelSpeedupSeries(kernel=name, points=tuple(points)))
@@ -105,22 +111,29 @@ def _kernel_speedups(
     return series
 
 
-def kernel_harmonic_speedup(config: ProcessorConfig) -> float:
+def kernel_harmonic_speedup(
+    config: ProcessorConfig, mode: str = "simulated"
+) -> float:
     """Harmonic-mean kernel speedup of ``config`` over the baseline."""
     engine = default_engine()
     baseline = ProcessorConfig(*BASELINE)
     speedups = [
-        engine.kernel_rate(name, config) / engine.kernel_rate(name, baseline)
+        engine.kernel_rate(name, config, mode)
+        / engine.kernel_rate(name, baseline, mode)
         for name in PERFORMANCE_SUITE
     ]
     return harmonic_mean(speedups)
 
 
-def kernel_harmonic_gops(config: ProcessorConfig, clock_ghz: float = 1.0) -> float:
+def kernel_harmonic_gops(
+    config: ProcessorConfig,
+    clock_ghz: float = 1.0,
+    mode: str = "simulated",
+) -> float:
     """Harmonic-mean sustained kernel GOPS of ``config``."""
     engine = default_engine()
     rates = [
-        engine.kernel_rate(name, config) * clock_ghz
+        engine.kernel_rate(name, config, mode) * clock_ghz
         for name in PERFORMANCE_SUITE
     ]
     return harmonic_mean(rates)
@@ -129,6 +142,7 @@ def kernel_harmonic_gops(config: ProcessorConfig, clock_ghz: float = 1.0) -> flo
 def table5_performance_per_area(
     n_values: Sequence[int] = TABLE5_N_VALUES,
     c_values: Sequence[int] = TABLE5_C_VALUES,
+    mode: str = "simulated",
 ) -> Dict[Tuple[int, int], float]:
     """Table 5: harmonic-mean kernel GOPS per unit area over the grid.
 
@@ -142,14 +156,17 @@ def table5_performance_per_area(
             for name in PERFORMANCE_SUITE
             for n in n_values
             for c in c_values
-        ]
+        ],
+        mode=mode,
     )
     grid: Dict[Tuple[int, int], float] = {}
     for n in n_values:
         for c in c_values:
             config = ProcessorConfig(c, n)
             efficiencies = [
-                performance_per_area(config, engine.kernel_rate(name, config))
+                performance_per_area(
+                    config, engine.kernel_rate(name, config, mode)
+                )
                 for name in PERFORMANCE_SUITE
             ]
             grid[(c, n)] = harmonic_mean(efficiencies)
@@ -173,6 +190,7 @@ def figure15_application_performance(
     applications: Sequence[str] = APPLICATION_ORDER,
     engine: Optional[SweepEngine] = None,
     workers: Optional[int] = None,
+    mode: str = "simulated",
 ) -> List[ApplicationPoint]:
     """Figure 15: application speedups over C=8/N=5 and sustained GOPS.
 
@@ -191,15 +209,17 @@ def figure15_application_performance(
         for c in c_values
     ]
     wanted = [(name, baseline_config) for name in applications] + grid
-    engine.simulate_many(wanted, workers=workers)
+    engine.simulate_many(wanted, workers=workers, mode=mode)
 
     points: List[ApplicationPoint] = []
     for name in applications:
-        baseline = engine.simulate_application(name, baseline_config)
+        baseline = engine.simulate_application(
+            name, baseline_config, mode=mode
+        )
         for n in n_values:
             for c in c_values:
                 config = ProcessorConfig(c, n)
-                result = engine.simulate_application(name, config)
+                result = engine.simulate_application(name, config, mode=mode)
                 points.append(
                     ApplicationPoint(
                         application=name,
@@ -213,7 +233,9 @@ def figure15_application_performance(
 
 
 def application_harmonic_speedup(
-    config: ProcessorConfig, engine: Optional[SweepEngine] = None
+    config: ProcessorConfig,
+    engine: Optional[SweepEngine] = None,
+    mode: str = "simulated",
 ) -> float:
     """Harmonic-mean application speedup of ``config`` over the baseline.
 
@@ -225,7 +247,9 @@ def application_harmonic_speedup(
     baseline_config = ProcessorConfig(*BASELINE)
     speedups = []
     for name in APPLICATION_ORDER:
-        baseline = engine.simulate_application(name, baseline_config)
-        result = engine.simulate_application(name, config)
+        baseline = engine.simulate_application(
+            name, baseline_config, mode=mode
+        )
+        result = engine.simulate_application(name, config, mode=mode)
         speedups.append(result.speedup_over(baseline))
     return harmonic_mean(speedups)

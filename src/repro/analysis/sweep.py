@@ -54,8 +54,10 @@ from ..resilience.executor import ResilientExecutor
 from ..resilience.faults import fault_point
 from ..sim.metrics import SimulationResult
 from ..sim.processor import simulate
+from .model import EXECUTION_MODES, check_mode, predict_application
 
 __all__ = [
+    "EXECUTION_MODES",
     "SweepEngine",
     "SweepPoint",
     "clear_sweep_cache",
@@ -65,7 +67,7 @@ __all__ = [
 #: One application-simulation grid point: ``(application, config)``.
 SweepPoint = Tuple[str, ProcessorConfig]
 
-_SimKey = Tuple[str, ProcessorConfig, TechnologyNode, float]
+_SimKey = Tuple[str, ProcessorConfig, TechnologyNode, float, str]
 
 
 def _simulate_point(args: Tuple[str, ProcessorConfig, TechnologyNode, float]):
@@ -134,7 +136,9 @@ class SweepEngine:
         #: identical queries compute once, not twice.
         self._lock = threading.RLock()
         self._sim_cache: Dict[_SimKey, SimulationResult] = {}
-        self._rate_cache: Dict[Tuple[str, ProcessorConfig], float] = {}
+        self._rate_cache: Dict[
+            Tuple[str, ProcessorConfig, str], float
+        ] = {}
         self.sim_hits = 0
         self.sim_misses = 0
         self.rate_hits = 0
@@ -267,14 +271,20 @@ class SweepEngine:
         config: ProcessorConfig,
         node: TechnologyNode = TECH_45NM,
         clock_ghz: float = 1.0,
+        mode: str = "simulated",
     ) -> SimulationResult:
         """``simulate(get_application(application), config)``, memoized.
 
-        The application program is only rebuilt (and the simulator only
-        run) on a cache miss; results are deterministic, so a cached
-        result is indistinguishable from a fresh one.
+        ``mode`` selects the execution backend: ``"simulated"`` drives
+        the cycle-accurate simulator, ``"analytical"`` evaluates the
+        closed-form model (:mod:`repro.analysis.model`) — same scalar
+        results on the validated fleet, no per-op timeline, about two
+        orders of magnitude faster per cold point.  The mode is part of
+        the memo key (and the checkpoint key), so results from the two
+        backends can never alias.
         """
-        key = (application, config, node, clock_ghz)
+        check_mode(mode)
+        key = (application, config, node, clock_ghz, mode)
         with self._lock:
             cached = self._sim_cache.get(key)
             if cached is not None:
@@ -283,13 +293,18 @@ class SweepEngine:
             self._count("sim", hit=False)
             with self.profiler.phase("sweep.simulate"):
                 started = time.perf_counter()
-                result = simulate(
-                    get_application(application),
-                    config,
-                    node,
-                    clock_ghz,
-                    profiler=self.profiler,
-                )
+                if mode == "analytical":
+                    result = predict_application(
+                        application, config, node, clock_ghz
+                    )
+                else:
+                    result = simulate(
+                        get_application(application),
+                        config,
+                        node,
+                        clock_ghz,
+                        profiler=self.profiler,
+                    )
                 elapsed = time.perf_counter() - started
                 self._observe_point(elapsed)
             self._sim_cache[key] = result
@@ -303,17 +318,27 @@ class SweepEngine:
                 application=application,
                 clusters=config.clusters,
                 alus=config.alus_per_cluster,
+                mode=mode,
                 seconds=round(elapsed, 6),
             )
             return result
 
-    def kernel_rate(self, kernel: str, config: ProcessorConfig) -> float:
+    def kernel_rate(
+        self,
+        kernel: str,
+        config: ProcessorConfig,
+        mode: str = "simulated",
+    ) -> float:
         """Sustained whole-chip ops/cycle of a suite kernel, memoized.
 
         Sits above the compiler's own schedule cache: a hit skips the
         machine-description build and cache-key construction too.
+        Kernel rates are a schedule closed form in *both* modes (the
+        simulator's cluster array runs the same arithmetic), but the
+        mode still participates in the memo key so backends never alias.
         """
-        key = (kernel, config)
+        check_mode(mode)
+        key = (kernel, config, mode)
         with self._lock:
             cached = self._rate_cache.get(key)
             if cached is not None:
@@ -334,6 +359,7 @@ class SweepEngine:
                 kernel=kernel,
                 clusters=config.clusters,
                 alus=config.alus_per_cluster,
+                mode=mode,
                 seconds=round(elapsed, 6),
             )
             return rate
@@ -344,6 +370,7 @@ class SweepEngine:
         self,
         points: Sequence[Tuple[str, ProcessorConfig]],
         workers: Optional[int] = None,
+        mode: str = "simulated",
     ) -> List[float]:
         """Compile a (kernel, config) grid; whole-chip rates in order.
 
@@ -354,14 +381,15 @@ class SweepEngine:
         schedule at most once, ever.  Values are identical to repeated
         :meth:`kernel_rate` calls.
         """
+        check_mode(mode)
         with self._lock:
             missing: List[Tuple[str, ProcessorConfig]] = []
             seen = set()
             for kernel, config in points:
-                key = (kernel, config)
+                key = (kernel, config, mode)
                 if key not in self._rate_cache and key not in seen:
                     seen.add(key)
-                    missing.append(key)
+                    missing.append((kernel, config))
             self._publish(
                 "sweep_start",
                 kind="compile",
@@ -382,10 +410,11 @@ class SweepEngine:
                         max_retries=self.max_retries,
                         max_pool_failures=self.max_pool_failures,
                     )
-                for done, (key, schedule) in enumerate(
+                for done, ((kernel, config), schedule) in enumerate(
                     zip(missing, schedules), start=1
                 ):
                     rate = schedule.ops_per_cycle()
+                    key = (kernel, config, mode)
                     self._rate_cache[key] = rate
                     self._count("rate", hit=False)
                     self._checkpoint_store("rate", key, rate)
@@ -398,7 +427,8 @@ class SweepEngine:
                 seconds=round(time.perf_counter() - started, 3),
             )
             return [
-                self.kernel_rate(kernel, config) for kernel, config in points
+                self.kernel_rate(kernel, config, mode)
+                for kernel, config in points
             ]
 
     def simulate_many(
@@ -407,6 +437,7 @@ class SweepEngine:
         node: TechnologyNode = TECH_45NM,
         clock_ghz: float = 1.0,
         workers: Optional[int] = None,
+        mode: str = "simulated",
     ) -> List[SimulationResult]:
         """Simulate a grid of points; results in input order.
 
@@ -417,12 +448,18 @@ class SweepEngine:
         cache for later single-point lookups.  If the platform cannot
         spawn worker processes the engine degrades to the serial path
         rather than failing the sweep.
+
+        ``mode="analytical"`` evaluates the closed-form model instead
+        of the simulator for every cold point; a process pool is never
+        spawned for analytical grids — per-point cost is microseconds,
+        far below fork/pickle overhead, so the serial path always wins.
         """
+        check_mode(mode)
         with self._lock:
             missing: List[SweepPoint] = []
             seen = set()
             for application, config in points:
-                key = (application, config, node, clock_ghz)
+                key = (application, config, node, clock_ghz, mode)
                 if key not in self._sim_cache and key not in seen:
                     seen.add(key)
                     missing.append((application, config))
@@ -435,17 +472,20 @@ class SweepEngine:
             )
             started = time.perf_counter()
             done = 0
-            if missing and workers is not None and workers > 1:
+            if (
+                missing and workers is not None and workers > 1
+                and mode == "simulated"
+            ):
                 done = self._fan_out(
                     missing, node, clock_ghz, workers, started
                 )
             for application, config in missing:
                 # Serial fill for whatever the pool did not cover (all
                 # of it when workers is None or pool startup failed).
-                key = (application, config, node, clock_ghz)
+                key = (application, config, node, clock_ghz, mode)
                 was_cached = key in self._sim_cache
                 self.simulate_application(
-                    application, config, node, clock_ghz
+                    application, config, node, clock_ghz, mode
                 )
                 if not was_cached:
                     done += 1
@@ -460,7 +500,9 @@ class SweepEngine:
                 cache_hit_rate=self._hit_rate(),
             )
             return [
-                self.simulate_application(application, config, node, clock_ghz)
+                self.simulate_application(
+                    application, config, node, clock_ghz, mode
+                )
                 for application, config in points
             ]
 
@@ -521,7 +563,9 @@ class SweepEngine:
             self.last_executor_stats = executor.stats()
         done = 0
         for (application, config), result in zip(missing, results):
-            key = (application, config, node, clock_ghz)
+            # The pool only ever runs cycle-accurate points (analytical
+            # grids stay serial), so the key's mode is fixed.
+            key = (application, config, node, clock_ghz, "simulated")
             self._sim_cache[key] = result
             self._count("sim", hit=False)
             self._checkpoint_store("sim", key, result)

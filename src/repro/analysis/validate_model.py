@@ -1,0 +1,242 @@
+"""Point-by-point validation of the analytical model vs the simulator.
+
+The analytical backend (:mod:`repro.analysis.model`) is only allowed to
+exist because it is *checked*: this harness runs the closed-form model
+and the cycle-accurate simulator over the same tier-1 grid — all six
+applications on the Figure-15 ``C x N`` grid, and all six kernels on
+the Table-5 grid at several stream lengths — records the per-point
+relative cycle error into a versioned JSON report, and fails when the
+maximum error exceeds the recorded bound.  CI runs it on every build
+(the ``validate-model`` job), so the fast path cannot silently drift
+from the simulator as either side evolves.
+
+The shipped report (``model_validation.json`` next to this module) is
+the recorded trajectory point: :func:`recorded_report` loads it, and
+``repro report --mode analytical`` quotes its error line so every
+analytical answer carries its own honesty label.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..apps.suite import APPLICATION_ORDER, get_application
+from ..compiler.pipeline import compile_kernel
+from ..core.config import ProcessorConfig
+from ..kernels.suite import PERFORMANCE_SUITE, get_kernel
+from ..sim.cluster import ClusterArray
+from ..sim.processor import simulate
+from .model import predict_application, predict_kernel_call_cycles
+from .perf import FIG15_N_VALUES, TABLE5_C_VALUES, TABLE5_N_VALUES
+
+__all__ = [
+    "MODEL_ERROR_BOUND",
+    "REPORT_PATH",
+    "REPORT_VERSION",
+    "ValidationPoint",
+    "build_report",
+    "recorded_report",
+    "render_report",
+    "validate_applications",
+    "validate_kernels",
+    "write_report",
+]
+
+#: The recorded ceiling on per-point relative cycle error.  The model
+#: replicates the simulator's closed forms exactly, so the measured
+#: error is 0.0 on the covered fleet — the bound leaves headroom for
+#: future, deliberately approximate model extensions without letting
+#: the backends drift apart unnoticed (ISSUE target: a few percent).
+MODEL_ERROR_BOUND = 0.05
+
+#: Version of the JSON report payload.
+REPORT_VERSION = 1
+
+#: The shipped trajectory point: the last recorded validation run.
+REPORT_PATH = Path(__file__).with_name("model_validation.json")
+
+#: Stream lengths the kernel-level closed form is checked at: a
+#: short-stream case (fewer items than the biggest machine's clusters),
+#: the paper's canonical 1K working size, and a long steady-state run.
+KERNEL_WORK_ITEMS = (64, 1024, 8192)
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One grid point's simulated-vs-analytical comparison."""
+
+    kind: str  # "application" | "kernel"
+    name: str
+    clusters: int
+    alus: int
+    work_items: Optional[int]
+    simulated_cycles: int
+    analytical_cycles: int
+
+    @property
+    def rel_error(self) -> float:
+        """``|analytical - simulated| / simulated`` (cycles)."""
+        if self.simulated_cycles == 0:
+            return 0.0 if self.analytical_cycles == 0 else float("inf")
+        return (
+            abs(self.analytical_cycles - self.simulated_cycles)
+            / self.simulated_cycles
+        )
+
+
+def validate_applications(
+    applications: Sequence[str] = APPLICATION_ORDER,
+    c_values: Sequence[int] = TABLE5_C_VALUES,
+    n_values: Sequence[int] = FIG15_N_VALUES,
+) -> List[ValidationPoint]:
+    """Model vs simulator over the application grid (full programs:
+    host scoreboard, memory pipe, SRF staging and spilling, clusters)."""
+    points: List[ValidationPoint] = []
+    for name in applications:
+        for c in c_values:
+            for n in n_values:
+                config = ProcessorConfig(c, n)
+                sim = simulate(get_application(name), config)
+                model = predict_application(name, config)
+                points.append(
+                    ValidationPoint(
+                        kind="application",
+                        name=name,
+                        clusters=c,
+                        alus=n,
+                        work_items=None,
+                        simulated_cycles=sim.cycles,
+                        analytical_cycles=model.cycles,
+                    )
+                )
+    return points
+
+
+def validate_kernels(
+    kernels: Sequence[str] = PERFORMANCE_SUITE,
+    c_values: Sequence[int] = TABLE5_C_VALUES,
+    n_values: Sequence[int] = TABLE5_N_VALUES,
+    work_items: Sequence[int] = KERNEL_WORK_ITEMS,
+) -> List[ValidationPoint]:
+    """Kernel closed form vs the simulator's cluster array.
+
+    Each point invokes the compiled kernel once on a fresh
+    :class:`~repro.sim.cluster.ClusterArray` (so the one-time microcode
+    load is part of both sides) and compares invocation cycles.
+    """
+    points: List[ValidationPoint] = []
+    for name in kernels:
+        for c in c_values:
+            for n in n_values:
+                config = ProcessorConfig(c, n)
+                schedule = compile_kernel(get_kernel(name), config)
+                for items in work_items:
+                    run = ClusterArray(config).run(schedule, items, 0)
+                    predicted = predict_kernel_call_cycles(
+                        schedule, items, ucode_reload=True
+                    )
+                    points.append(
+                        ValidationPoint(
+                            kind="kernel",
+                            name=name,
+                            clusters=c,
+                            alus=n,
+                            work_items=items,
+                            simulated_cycles=run.cycles,
+                            analytical_cycles=predicted,
+                        )
+                    )
+    return points
+
+
+def build_report(
+    bound: float = MODEL_ERROR_BOUND,
+    include_points: bool = True,
+) -> Dict[str, object]:
+    """Run the full tier-1 validation grid; returns the report payload.
+
+    ``passed`` is ``max_rel_error <= bound``.  The per-point rows are
+    included by default (the report is the audit trail); pass
+    ``include_points=False`` for a summary-only payload.
+    """
+    points = validate_applications() + validate_kernels()
+    errors = [p.rel_error for p in points]
+    worst = max(range(len(points)), key=lambda i: errors[i])
+    report: Dict[str, object] = {
+        "report_version": REPORT_VERSION,
+        "bound": bound,
+        "grid": {
+            "applications": len(
+                [p for p in points if p.kind == "application"]
+            ),
+            "kernels": len([p for p in points if p.kind == "kernel"]),
+            "total": len(points),
+        },
+        "max_rel_error": max(errors),
+        "mean_rel_error": sum(errors) / len(errors),
+        "worst_point": {**asdict(points[worst]),
+                        "rel_error": errors[worst]},
+        "passed": max(errors) <= bound,
+    }
+    if include_points:
+        report["points"] = [
+            {**asdict(p), "rel_error": p.rel_error} for p in points
+        ]
+    return report
+
+
+def write_report(path, report: Dict[str, object]) -> None:
+    """Write the report as stable, human-diffable JSON."""
+    Path(path).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def recorded_report() -> Optional[Dict[str, object]]:
+    """The shipped validation report, or ``None`` if absent/corrupt."""
+    try:
+        report = json.loads(REPORT_PATH.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(report, dict) or "max_rel_error" not in report:
+        return None
+    return report
+
+
+def error_summary(report: Dict[str, object]) -> str:
+    """The one-line max/mean error summary CI and ``repro report`` print."""
+    grid = report.get("grid", {})
+    return (
+        f"model-validation: max rel error "
+        f"{report['max_rel_error']:.6f}, mean "
+        f"{report['mean_rel_error']:.6f} over "
+        f"{grid.get('total', '?')} points "
+        f"({grid.get('applications', '?')} application, "
+        f"{grid.get('kernels', '?')} kernel) — bound "
+        f"{report['bound']:.3f}: "
+        f"{'PASS' if report.get('passed') else 'FAIL'}"
+    )
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """Human rendering: per-kind worst rows plus the summary line."""
+    lines: List[str] = []
+    points = report.get("points") or []
+    by_kind: Dict[Tuple[str, str], List[dict]] = {}
+    for p in points:
+        by_kind.setdefault((p["kind"], p["name"]), []).append(p)
+    if by_kind:
+        lines.append(
+            f"{'kind':<12} {'name':<10} {'points':>6} "
+            f"{'max rel error':>14}"
+        )
+        for (kind, name), rows in sorted(by_kind.items()):
+            worst = max(r["rel_error"] for r in rows)
+            lines.append(
+                f"{kind:<12} {name:<10} {len(rows):>6} {worst:>14.6f}"
+            )
+    lines.append(error_summary(report))
+    return "\n".join(lines)

@@ -38,6 +38,7 @@ from typing import Any, Dict, Optional, Tuple, Type, Union
 
 __all__ = [
     "API_VERSION",
+    "SWEEP_MODES",
     "ApiError",
     "CompileRequest",
     "CompileResult",
@@ -60,10 +61,16 @@ __all__ = [
 
 #: Bumped whenever a request or result field is added, removed, or
 #: changes meaning.
-API_VERSION = 1
+API_VERSION = 2
 
 #: Sweep targets :func:`run_sweep` understands.
 SWEEP_TARGETS = ("fig13", "fig14", "table5", "fig15", "headline")
+
+#: Execution backends simulate/sweep requests accept.  Mirrors
+#: :data:`repro.analysis.model.EXECUTION_MODES` (asserted by the test
+#: suite) without importing the heavy analysis stack at request-build
+#: time.
+SWEEP_MODES = ("simulated", "analytical")
 
 
 class ApiError(ValueError):
@@ -149,6 +156,14 @@ def _require(condition: bool, message: str) -> None:
         raise ApiError(message)
 
 
+def _check_mode(mode: Any, who: str) -> None:
+    _require(
+        mode in SWEEP_MODES,
+        f"{who}: unknown mode {mode!r}; "
+        f"allowed modes: {', '.join(SWEEP_MODES)}",
+    )
+
+
 def _check_config(clusters: Any, alus: Any, who: str) -> None:
     _require(
         isinstance(clusters, int) and not isinstance(clusters, bool)
@@ -195,7 +210,14 @@ class CompileRequest(_Payload):
 
 @dataclass(frozen=True)
 class SimulateRequest(_Payload):
-    """Simulate one application on one ``(C, N)`` configuration."""
+    """Simulate one application on one ``(C, N)`` configuration.
+
+    ``mode`` selects the execution backend: ``"simulated"`` (the
+    cycle-accurate simulator, the default) or ``"analytical"`` (the
+    closed-form model — same scalar results on the validated fleet,
+    answers in microseconds).  ``max_events`` is a simulator livelock
+    budget and therefore only meaningful with ``mode="simulated"``.
+    """
 
     application: str = ""
     clusters: int = 8
@@ -203,6 +225,7 @@ class SimulateRequest(_Payload):
     clock_ghz: float = 1.0
     #: ``None`` uses the simulator's default livelock budget.
     max_events: Optional[int] = None
+    mode: str = "simulated"
 
     def validate(self) -> None:
         """Raise :class:`ApiError` unless the request is well-formed."""
@@ -224,6 +247,12 @@ class SimulateRequest(_Payload):
                 and self.max_events >= 1),
             "SimulateRequest: max_events must be None or an integer >= 1",
         )
+        _check_mode(self.mode, "SimulateRequest")
+        _require(
+            not (self.mode == "analytical" and self.max_events is not None),
+            "SimulateRequest: max_events is a simulator budget and cannot "
+            "be combined with mode='analytical'",
+        )
 
 
 @dataclass(frozen=True)
@@ -233,12 +262,15 @@ class SweepRequest(_Payload):
     ``target`` is one of :data:`SWEEP_TARGETS`; ``apps`` additionally
     runs the (slower) application simulations where the target supports
     them (``headline``); ``workers`` fans cold grid points out over a
-    process pool.
+    process pool; ``mode`` selects the execution backend
+    (:data:`SWEEP_MODES` — ``"analytical"`` answers a full grid in
+    milliseconds from the closed-form model).
     """
 
     target: str = ""
     apps: bool = False
     workers: Optional[int] = None
+    mode: str = "simulated"
 
     def validate(self) -> None:
         """Raise :class:`ApiError` unless the request is well-formed."""
@@ -257,6 +289,7 @@ class SweepRequest(_Payload):
                 and self.workers >= 1),
             "SweepRequest: workers must be None or an integer >= 1",
         )
+        _check_mode(self.mode, "SweepRequest")
 
 
 # --- results ------------------------------------------------------------
@@ -507,7 +540,10 @@ def run_simulate(request: SimulateRequest) -> SimulateResult:
         from .analysis.sweep import default_engine
 
         result = default_engine().simulate_application(
-            request.application, config, clock_ghz=request.clock_ghz
+            request.application,
+            config,
+            clock_ghz=request.clock_ghz,
+            mode=request.mode,
         )
     else:
         from .apps.suite import get_application
@@ -537,9 +573,9 @@ def run_sweep(request: SweepRequest) -> SweepResult:
         )
 
         series = (
-            figure13_kernel_speedups()
+            figure13_kernel_speedups(mode=request.mode)
             if request.target == "fig13"
-            else figure14_kernel_speedups()
+            else figure14_kernel_speedups(mode=request.mode)
         )
         for entry in series:
             for config, speedup in entry.points:
@@ -550,13 +586,15 @@ def run_sweep(request: SweepRequest) -> SweepResult:
     elif request.target == "table5":
         from .analysis.perf import table5_performance_per_area
 
-        grid = table5_performance_per_area()
+        grid = table5_performance_per_area(mode=request.mode)
         for (c, n), value in sorted(grid.items()):
             rows.append({"clusters": c, "alus": n, "perf_per_area": value})
     elif request.target == "fig15":
         from .analysis.perf import figure15_application_performance
 
-        for point in figure15_application_performance(workers=request.workers):
+        for point in figure15_application_performance(
+            workers=request.workers, mode=request.mode
+        ):
             rows.append(
                 {
                     "application": point.application,
@@ -569,8 +607,10 @@ def run_sweep(request: SweepRequest) -> SweepResult:
         from .analysis.headline import headline_640, headline_1280
 
         for name, report in (
-            ("640alu", headline_640(include_apps=request.apps)),
-            ("1280alu", headline_1280(include_apps=request.apps)),
+            ("640alu",
+             headline_640(include_apps=request.apps, mode=request.mode)),
+            ("1280alu",
+             headline_1280(include_apps=request.apps, mode=request.mode)),
         ):
             rows.append(
                 {

@@ -96,6 +96,7 @@ FAULT_SITES: Dict[str, str] = {
     "checkpoint.load": "SweepCheckpoint load, before reading (path)",
     "checkpoint.store": "SweepCheckpoint store, after writing (path)",
     "sim.run": "StreamProcessor.run, before executing a program",
+    "model.predict": "predict_application, before the closed-form eval",
 }
 
 

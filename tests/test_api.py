@@ -37,7 +37,9 @@ class TestRoundTrips:
         CostQuery(16, 10),
         CompileRequest("fft", 8, 5),
         SimulateRequest("fft1k", 8, 5, 1.5, 2_000_000),
+        SimulateRequest("fft1k", 8, 5, mode="analytical"),
         SweepRequest("table5", apps=False, workers=2),
+        SweepRequest("fig13", mode="analytical"),
     )
 
     @pytest.mark.parametrize("request_obj", CASES, ids=lambda r: type(r).__name__)
@@ -168,5 +170,61 @@ class TestRunners:
         with pytest.raises(ApiError, match="not an API request"):
             execute("costs")  # type: ignore[arg-type]
 
-    def test_api_version_is_one(self):
-        assert API_VERSION == 1
+    def test_api_version_is_two(self):
+        # Bumped to 2 when requests grew the ``mode`` field.
+        assert API_VERSION == 2
+
+
+class TestExecutionModes:
+    """The ``mode`` field: strict validation and backend equivalence."""
+
+    def test_mode_round_trips(self):
+        request = SweepRequest("fig13", mode="analytical")
+        assert SweepRequest.from_json(request.to_json()) == request
+        assert json.loads(request.to_json())["mode"] == "analytical"
+
+    def test_unknown_mode_names_allowed_modes(self):
+        from repro.api import SWEEP_MODES
+
+        for cls, kwargs in (
+            (SweepRequest, {"target": "fig13"}),
+            (SimulateRequest, {"application": "fft1k"}),
+        ):
+            with pytest.raises(ApiError) as excinfo:
+                cls(mode="oracular", **kwargs).validate()
+            message = str(excinfo.value)
+            assert "oracular" in message
+            for mode in SWEEP_MODES:
+                assert mode in message
+
+    def test_unknown_mode_rejected_from_json(self):
+        with pytest.raises(ApiError, match="allowed modes"):
+            execute(SweepRequest.from_dict(
+                {"target": "fig13", "mode": "oracular"}
+            ))
+
+    def test_dedup_key_distinguishes_modes(self):
+        assert dedup_key(SweepRequest("fig13")) != dedup_key(
+            SweepRequest("fig13", mode="analytical")
+        )
+
+    def test_analytical_max_events_rejected(self):
+        # max_events budgets the event loop; the model has none.
+        with pytest.raises(ApiError, match="max_events"):
+            SimulateRequest(
+                "fft1k", max_events=1_000_000, mode="analytical"
+            ).validate()
+
+    def test_analytical_simulate_matches_simulated(self):
+        simulated = run_simulate(SimulateRequest("fft1k", 8, 5))
+        analytical = run_simulate(
+            SimulateRequest("fft1k", 8, 5, mode="analytical")
+        )
+        assert analytical.to_json() == simulated.to_json()
+
+    @pytest.mark.parametrize("target", ("fig13", "fig14", "table5"))
+    def test_analytical_sweep_matches_simulated(self, target):
+        simulated = run_sweep(SweepRequest(target))
+        analytical = run_sweep(SweepRequest(target, mode="analytical"))
+        assert analytical.rows == simulated.rows
+        assert analytical.to_json() == simulated.to_json()

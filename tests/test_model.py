@@ -1,0 +1,195 @@
+"""Tests for the closed-form analytical model (repro.analysis.model).
+
+The model's contract is *exactness*: on the covered fleet it must
+reproduce the cycle-accurate simulator's totals field for field — not
+approximately, identically.  These tests pin that contract on every
+regime the simulator exercises: fast-path programs (SRF never
+pressured), heavy spill/reload traffic, microcode-store overflow, and
+the kernel-level closed form at short and long stream lengths.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.model import (
+    EXECUTION_MODES,
+    build_summary,
+    check_mode,
+    clear_summary_cache,
+    predict_application,
+    predict_kernel_call_cycles,
+    predict_program,
+    program_summary,
+)
+from repro.analysis.validate_model import (
+    MODEL_ERROR_BOUND,
+    build_report,
+    error_summary,
+    recorded_report,
+    render_report,
+)
+from repro.apps.suite import APPLICATION_ORDER, get_application
+from repro.compiler.pipeline import compile_kernel
+from repro.core.config import ProcessorConfig
+from repro.core.params import IMAGINE_PARAMETERS
+from repro.kernels.suite import PERFORMANCE_SUITE, get_kernel
+from repro.sim.cluster import ClusterArray
+from repro.sim.processor import simulate
+
+
+def assert_exact(result, expected) -> None:
+    """Every total the simulator reports, matched field for field."""
+    assert result.cycles == expected.cycles
+    assert result.useful_alu_ops == expected.useful_alu_ops
+    assert result.spill_words == expected.spill_words
+    assert result.reload_words == expected.reload_words
+    assert result.memory_busy_cycles == expected.memory_busy_cycles
+    assert result.cluster_busy_cycles == expected.cluster_busy_cycles
+    assert result.ucode_reloads == expected.ucode_reloads
+    assert result.bandwidth == expected.bandwidth
+
+
+class TestApplicationExactness:
+    @pytest.mark.parametrize("application", APPLICATION_ORDER)
+    def test_baseline_exact(self, application):
+        config = ProcessorConfig(8, 5)
+        assert_exact(
+            predict_application(application, config),
+            simulate(get_application(application), config),
+        )
+
+    @pytest.mark.parametrize(
+        "application,clusters,alus",
+        [
+            # qrd and fft4k at C=8 N=5 overflow the SRF and spill
+            # megabytes — the LRU replay must match exactly.
+            ("qrd", 8, 5),
+            ("fft4k", 8, 5),
+            # Large machines: fast path (SRF never pressured).
+            ("depth", 128, 14),
+            ("render", 64, 10),
+        ],
+    )
+    def test_regimes_exact(self, application, clusters, alus):
+        config = ProcessorConfig(clusters, alus)
+        expected = simulate(get_application(application), config)
+        assert_exact(predict_application(application, config), expected)
+
+    def test_spill_regime_actually_spills(self):
+        """Guard the parametrization above: qrd at the baseline must
+        exercise the spill path, or the 'heavy spill' case is vacuous."""
+        result = predict_application("qrd", ProcessorConfig(8, 5))
+        assert result.spill_words > 0
+        assert result.reload_words > 0
+
+    def test_ucode_overflow_exact(self):
+        """Shrink the microcode store until kernels evict each other:
+        the model's reload accounting must still match the simulator."""
+        for r_uc in (40.0, 100.0):
+            params = dataclasses.replace(IMAGINE_PARAMETERS, r_uc=r_uc)
+            config = ProcessorConfig(8, 5, params=params)
+            expected = simulate(get_application("render"), config)
+            assert expected.ucode_reloads > 1  # eviction really happened
+            assert_exact(predict_application("render", config), expected)
+
+    def test_clock_scaling(self):
+        config = ProcessorConfig(8, 5)
+        fast = predict_application("fft1k", config, clock_ghz=2.0)
+        expected = simulate(
+            get_application("fft1k"), config, clock_ghz=2.0
+        )
+        assert fast.clock_ghz == 2.0
+        assert_exact(fast, expected)
+
+    def test_predict_program_matches_predict_application(self):
+        config = ProcessorConfig(16, 5)
+        via_name = predict_application("depth", config)
+        via_program = predict_program(get_application("depth"), config)
+        assert via_program == via_name
+
+
+class TestKernelClosedForm:
+    @pytest.mark.parametrize("kernel", PERFORMANCE_SUITE)
+    @pytest.mark.parametrize("work_items", [64, 1024, 8192])
+    def test_call_cycles_exact(self, kernel, work_items):
+        config = ProcessorConfig(8, 5)
+        schedule = compile_kernel(get_kernel(kernel), config)
+        run = ClusterArray(config).run(schedule, work_items, 0)
+        assert predict_kernel_call_cycles(
+            schedule, work_items, ucode_reload=True
+        ) == run.cycles
+
+    def test_warm_call_skips_reload(self):
+        """Second invocation of a resident kernel: no microcode reload
+        on either side."""
+        config = ProcessorConfig(8, 5)
+        schedule = compile_kernel(get_kernel("fft"), config)
+        array = ClusterArray(config)
+        array.run(schedule, 1024, 0)
+        warm = array.run(schedule, 1024, 0)
+        assert warm.ucode_reload_cycles == 0
+        assert predict_kernel_call_cycles(schedule, 1024) == warm.cycles
+
+
+class TestSummaryCaching:
+    def test_summary_cached_per_application(self):
+        clear_summary_cache()
+        first = program_summary("fft1k")
+        assert program_summary("fft1k") is first
+
+    def test_clear_drops_cache(self):
+        first = program_summary("fft1k")
+        clear_summary_cache()
+        assert program_summary("fft1k") is not first
+
+    def test_build_summary_counts_static_work(self):
+        summary = build_summary(get_application("fft1k"))
+        result = simulate(get_application("fft1k"), ProcessorConfig(8, 5))
+        assert summary.total_alu_ops == result.useful_alu_ops
+        assert summary.lrf_words == result.bandwidth.lrf_words
+
+
+class TestModeValidation:
+    def test_check_mode_accepts_known_modes(self):
+        for mode in EXECUTION_MODES:
+            assert check_mode(mode) == mode
+
+    def test_check_mode_names_allowed_modes(self):
+        with pytest.raises(ValueError) as excinfo:
+            check_mode("oracular")
+        message = str(excinfo.value)
+        assert "oracular" in message
+        for mode in EXECUTION_MODES:
+            assert mode in message
+
+    def test_api_modes_mirror_model_modes(self):
+        """repro.api re-declares the mode list (to stay import-light);
+        the two must never drift apart."""
+        from repro.api import SWEEP_MODES
+
+        assert SWEEP_MODES == EXECUTION_MODES
+
+
+class TestValidationHarness:
+    def test_small_grid_report_passes(self):
+        report = build_report(bound=MODEL_ERROR_BOUND)
+        assert report["passed"]
+        assert report["max_rel_error"] <= MODEL_ERROR_BOUND
+        assert report["grid"]["total"] == (
+            report["grid"]["applications"] + report["grid"]["kernels"]
+        )
+        assert len(report["points"]) == report["grid"]["total"]
+        summary = error_summary(report)
+        assert "PASS" in summary
+        rendered = render_report(report)
+        assert summary in rendered
+
+    def test_recorded_report_ships_and_passes(self):
+        """The committed trajectory point next to the module must load,
+        pass, and carry the documented bound."""
+        report = recorded_report()
+        assert report is not None
+        assert report["passed"]
+        assert report["bound"] == MODEL_ERROR_BOUND
+        assert report["max_rel_error"] <= report["bound"]

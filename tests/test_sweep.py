@@ -169,6 +169,81 @@ class TestPerfIntegration:
         assert after["rate_hits"] >= 1
 
 
+class TestExecutionModes:
+    """The analytical backend shares the engine but never its cache
+    entries: ``mode`` is part of every memo and checkpoint key."""
+
+    def test_modes_cached_separately(self):
+        engine = SweepEngine()
+        config = ProcessorConfig(8, 5)
+        simulated = engine.simulate_application("fft1k", config)
+        analytical = engine.simulate_application(
+            "fft1k", config, mode="analytical"
+        )
+        # Two cold points, not one hit: the modes never alias.
+        assert engine.stats()["sim_misses"] == 2
+        assert analytical is not simulated
+        # The model is exact, so the answers still agree.
+        assert analytical.cycles == simulated.cycles
+        assert analytical.bandwidth == simulated.bandwidth
+        # Each mode's repeat is a hit on its own entry.
+        assert engine.simulate_application(
+            "fft1k", config, mode="analytical"
+        ) is analytical
+        assert engine.simulate_application("fft1k", config) is simulated
+        assert engine.stats()["sim_hits"] == 2
+
+    def test_kernel_rate_mode_in_key(self):
+        engine = SweepEngine()
+        config = ProcessorConfig(8, 5)
+        simulated = engine.kernel_rate("convolve", config)
+        analytical = engine.kernel_rate(
+            "convolve", config, mode="analytical"
+        )
+        assert analytical == simulated  # same closed form either way
+        assert engine.stats()["rate_misses"] == 2
+
+    def test_unknown_mode_rejected(self):
+        engine = SweepEngine()
+        with pytest.raises(ValueError) as excinfo:
+            engine.simulate_application(
+                "fft1k", ProcessorConfig(8, 5), mode="oracular"
+            )
+        message = str(excinfo.value)
+        assert "simulated" in message and "analytical" in message
+
+    def test_simulate_many_analytical_matches_simulated(self):
+        points = [
+            (app, config)
+            for app in SMALL_APPS
+            for config in SMALL_CONFIGS
+        ]
+        simulated = SweepEngine().simulate_many(points)
+        analytical = SweepEngine().simulate_many(points, mode="analytical")
+        for sim, model in zip(simulated, analytical):
+            assert model.cycles == sim.cycles
+            assert model.bandwidth == sim.bandwidth
+
+    def test_checkpoint_never_aliases_modes(self, tmp_path):
+        """A checkpointed analytical sweep must not satisfy a simulated
+        resume (or vice versa): the on-disk keys carry the mode too."""
+        from repro.resilience.checkpoint import SweepCheckpoint
+
+        config = ProcessorConfig(8, 5)
+        writer = SweepEngine(checkpoint=SweepCheckpoint(tmp_path))
+        writer.simulate_application("fft1k", config, mode="analytical")
+
+        resumed = SweepEngine(checkpoint=SweepCheckpoint(tmp_path))
+        assert resumed.resume() == 1
+        # The restored entry serves the analytical repeat...
+        resumed.simulate_application("fft1k", config, mode="analytical")
+        assert resumed.stats()["sim_hits"] == 1
+        assert resumed.stats()["sim_misses"] == 0
+        # ...but a simulated request at the same point is still cold.
+        resumed.simulate_application("fft1k", config)
+        assert resumed.stats()["sim_misses"] == 1
+
+
 class TestInstrumentation:
     def test_profiler_phases_accumulate(self):
         engine = SweepEngine()
