@@ -61,7 +61,7 @@ __all__ = [
 
 #: Bumped whenever a request or result field is added, removed, or
 #: changes meaning.
-API_VERSION = 2
+API_VERSION = 3
 
 #: Sweep targets :func:`run_sweep` understands.
 SWEEP_TARGETS = ("fig13", "fig14", "table5", "fig15", "headline")
@@ -342,7 +342,16 @@ class CompileResult(_Payload):
 
 @dataclass(frozen=True)
 class SimulateResult(_Payload):
-    """One application run's deterministic metrics (no wall-clock)."""
+    """One application run's deterministic metrics (no wall-clock).
+
+    The payload carries both the derived metrics (gops, utilizations)
+    and the raw integer accounting they derive from (cycles, op counts,
+    busy cycles, bandwidth words).  The raw fields make the payload
+    *reconstructible*: the cluster coordinator rebuilds a full
+    :class:`~repro.sim.metrics.SimulationResult` from a worker's wire
+    payload and every derived metric recomputes bit-identically — ints
+    are exact and Python's JSON round-trips floats exactly.
+    """
 
     application: str = ""
     clusters: int = 0
@@ -354,6 +363,9 @@ class SimulateResult(_Payload):
     alu_utilization: float = 0.0
     memory_utilization: float = 0.0
     cluster_utilization: float = 0.0
+    #: Raw busy-cycle accounting (what the utilizations divide).
+    memory_busy_cycles: int = 0
+    cluster_busy_cycles: int = 0
     spill_words: int = 0
     reload_words: int = 0
     ucode_reloads: int = 0
@@ -378,6 +390,8 @@ SimulationResult` (duck-typed, so this module never imports the
             alu_utilization=result.alu_utilization,
             memory_utilization=result.memory_utilization,
             cluster_utilization=result.cluster_utilization,
+            memory_busy_cycles=result.memory_busy_cycles,
+            cluster_busy_cycles=result.cluster_busy_cycles,
             spill_words=result.spill_words,
             reload_words=result.reload_words,
             ucode_reloads=result.ucode_reloads,

@@ -716,6 +716,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             request_timeout_s=args.timeout,
             trace_path=args.trace_out,
+            fleet=args.fleet,
+            join=args.join,
+            heartbeat_interval_s=args.heartbeat_interval,
+            heartbeat_timeout_s=args.heartbeat_timeout,
         )
     )
 
@@ -738,6 +742,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         rate=args.rate,
         mix=args.mix,
         request_timeout_s=args.timeout,
+        cluster_workers=args.cluster,
     )
     try:
         report = run_loadgen(config)
@@ -891,6 +896,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace-out", metavar="PATH", default=None,
                        help="write a Chrome trace of the serving window "
                             "on shutdown")
+    serve.add_argument("--fleet", type=int, default=0,
+                       help="cluster mode: spawn N local worker daemons "
+                            "and shard sweeps over them")
+    serve.add_argument("--join", metavar="HOST:PORT", default=None,
+                       help="cluster mode: register this daemon as a "
+                            "worker with the coordinator at HOST:PORT")
+    serve.add_argument("--heartbeat-interval", type=float, default=2.0,
+                       help="worker heartbeat period in seconds")
+    serve.add_argument("--heartbeat-timeout", type=float, default=6.0,
+                       help="seconds without a heartbeat before the "
+                            "coordinator declares a worker dead")
     _add_cache_arguments(serve)
     _add_logging_arguments(serve, suppress=True)
     serve.set_defaults(func=cmd_serve)
@@ -919,6 +935,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "costs=6,compile=2,simulate=1,sweep=1")
     loadgen.add_argument("--timeout", type=float, default=120.0,
                          help="per-request client timeout seconds")
+    loadgen.add_argument("--cluster", type=int, default=None,
+                         help="record this worker-fleet size in the SLO "
+                              "report (default: auto-detect from the "
+                              "daemon's /v1/cluster/stats)")
     loadgen.add_argument("--json", action="store_true",
                          help="emit the SLO report as a versioned "
                               "JSON envelope")

@@ -1,0 +1,218 @@
+"""Worker registration, heartbeats, and death detection.
+
+Workers introduce themselves over the same JSON-over-HTTP protocol the
+daemon already speaks (``POST /v1/cluster/register``), then heartbeat
+(``POST /v1/cluster/heartbeat``) every couple of seconds with their
+per-shard statistics — engine memo hits, compile-cache hit rate —
+which the coordinator republishes through ``/v1/cluster/stats``.
+
+Death has two detectors, both feeding the same transition:
+
+* **heartbeat timeout** — no heartbeat for ``heartbeat_timeout_s``
+  marks the worker dead (covers hung processes and partitions);
+* **dispatch failure** — a connection error or request timeout while
+  sending a point marks the worker dead immediately (covers crashes,
+  which would otherwise cost a full timeout window per point).
+
+A dead worker that heartbeats again is simply alive again — the ring
+never forgets a registered worker, so a worker that stalls under load
+and recovers gets its warm shard back instead of a cold one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .ring import HashRing
+
+__all__ = ["ClusterMembership", "WorkerInfo"]
+
+
+@dataclass
+class WorkerInfo:
+    """One registered worker and its live accounting."""
+
+    worker_id: str
+    host: str
+    port: int
+    pid: Optional[int] = None
+    #: Monotonic clock readings (coordinator-side, never wall clock).
+    registered_at: float = 0.0
+    last_seen: float = 0.0
+    #: Marked by a dispatch failure; cleared by the next heartbeat.
+    marked_dead: bool = False
+    #: Points this worker answered / failed, coordinator-side.
+    points_ok: int = 0
+    points_failed: int = 0
+    #: The last dispatch failure, naming ``host:port`` (operator bait).
+    last_error: Optional[str] = None
+    #: The worker's self-reported stats from its latest heartbeat.
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self, now: float, timeout_s: float) -> Dict[str, Any]:
+        """JSON-native summary for ``/v1/cluster/stats``."""
+        return {
+            "worker_id": self.worker_id,
+            "host": self.host,
+            "port": self.port,
+            "pid": self.pid,
+            "alive": self.is_alive(now, timeout_s),
+            "age_s": round(now - self.registered_at, 3),
+            "last_seen_s": round(now - self.last_seen, 3),
+            "points_ok": self.points_ok,
+            "points_failed": self.points_failed,
+            "last_error": self.last_error,
+            "stats": dict(self.stats),
+        }
+
+    def is_alive(self, now: float, timeout_s: float) -> bool:
+        return not self.marked_dead and (now - self.last_seen) <= timeout_s
+
+
+class ClusterMembership:
+    """The coordinator's view of the fleet: workers plus the hash ring.
+
+    Thread-safe: registrations and heartbeats land on the event-loop
+    thread while dispatch failures land on shard threads.
+    """
+
+    def __init__(
+        self,
+        heartbeat_timeout_s: float = 6.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._workers: Dict[str, WorkerInfo] = {}
+        self.ring = HashRing()
+        self.deaths = 0
+        #: Signalled on every registration (fleet-boot waiters).
+        self._changed = threading.Condition(self._lock)
+
+    # --- registration and heartbeats -----------------------------------
+
+    def register(
+        self,
+        worker_id: str,
+        host: str,
+        port: int,
+        pid: Optional[int] = None,
+        stats: Optional[Dict[str, Any]] = None,
+    ) -> WorkerInfo:
+        """Add (or refresh) a worker; idempotent by ``worker_id``."""
+        now = self._clock()
+        with self._lock:
+            info = self._workers.get(worker_id)
+            if info is None:
+                info = WorkerInfo(
+                    worker_id=worker_id, host=host, port=port, pid=pid,
+                    registered_at=now,
+                )
+                self._workers[worker_id] = info
+                self.ring.add(worker_id)
+            info.host, info.port = host, port
+            if pid is not None:
+                info.pid = pid
+            info.last_seen = now
+            info.marked_dead = False
+            if stats:
+                info.stats = dict(stats)
+            self._changed.notify_all()
+            return info
+
+    def heartbeat(
+        self, worker_id: str, stats: Optional[Dict[str, Any]] = None
+    ) -> bool:
+        """Refresh ``worker_id``; ``False`` when it never registered
+        (the worker should re-register — e.g. the coordinator
+        restarted and lost its membership)."""
+        with self._lock:
+            info = self._workers.get(worker_id)
+            if info is None:
+                return False
+            info.last_seen = self._clock()
+            info.marked_dead = False
+            if stats:
+                info.stats = dict(stats)
+            return True
+
+    def wait_for_workers(self, count: int, timeout_s: float) -> bool:
+        """Block until ``count`` workers are alive (fleet boot)."""
+        deadline = self._clock() + timeout_s
+        with self._lock:
+            while len(self._alive_locked()) < count:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    return False
+                self._changed.wait(min(remaining, 0.25))
+            return True
+
+    # --- death ----------------------------------------------------------
+
+    def mark_dead(self, worker_id: str, error: Optional[str] = None) -> None:
+        """Record a dispatch failure: the worker leaves the alive set
+        now (its next heartbeat revives it)."""
+        with self._lock:
+            info = self._workers.get(worker_id)
+            if info is None:
+                return
+            if not info.marked_dead:
+                self.deaths += 1
+            info.marked_dead = True
+            if error is not None:
+                info.last_error = error
+
+    def record_point(self, worker_id: str, ok: bool) -> None:
+        with self._lock:
+            info = self._workers.get(worker_id)
+            if info is None:
+                return
+            if ok:
+                info.points_ok += 1
+            else:
+                info.points_failed += 1
+
+    # --- queries --------------------------------------------------------
+
+    def _alive_locked(self) -> List[str]:
+        now = self._clock()
+        return [
+            worker_id
+            for worker_id, info in self._workers.items()
+            if info.is_alive(now, self.heartbeat_timeout_s)
+        ]
+
+    def alive(self) -> List[str]:
+        """Worker ids currently considered alive."""
+        with self._lock:
+            return self._alive_locked()
+
+    def get(self, worker_id: str) -> Optional[WorkerInfo]:
+        with self._lock:
+            return self._workers.get(worker_id)
+
+    def endpoint(self, worker_id: str) -> Optional[tuple]:
+        """``(host, port)`` of a worker, or ``None``."""
+        with self._lock:
+            info = self._workers.get(worker_id)
+            return (info.host, info.port) if info else None
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``/v1/cluster/stats`` payload body."""
+        now = self._clock()
+        with self._lock:
+            workers = [
+                info.as_dict(now, self.heartbeat_timeout_s)
+                for info in self._workers.values()
+            ]
+            return {
+                "workers": workers,
+                "alive": len(self._alive_locked()),
+                "registered": len(self._workers),
+                "deaths": self.deaths,
+                "heartbeat_timeout_s": self.heartbeat_timeout_s,
+            }

@@ -1,0 +1,134 @@
+"""Consistent-hash ring: stable shard ownership for sweep points.
+
+The cluster's sharding identity is :func:`repro.api.dedup_key` — the
+request kind plus its canonical JSON — hashed onto a ring of virtual
+nodes.  Two properties matter and both are properties of consistent
+hashing, not of this implementation:
+
+* **affinity** — the same point always lands on the same worker while
+  the membership is stable, so every worker's SweepEngine memo and
+  persistent compile cache stay warm for *its* slice of the design
+  space across requests (the paper's locality argument, applied to
+  serving: partition the work, keep each partition's state local);
+* **minimal movement** — when a worker dies, only the dead worker's
+  points move (to the next virtual node clockwise); the surviving
+  workers keep their warm shards untouched.
+
+Hashes are SHA-256 prefixes, never :func:`hash` — Python randomizes
+string hashing per process, and shard placement must agree between the
+coordinator, its tests, and any tooling that wants to predict
+placement offline.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+__all__ = ["HashRing"]
+
+#: Virtual nodes per worker.  64 keeps the expected shard-size spread
+#: under ~15% for small fleets while the ring stays tiny (a few KB).
+DEFAULT_REPLICAS = 64
+
+
+def _hash(text: str) -> int:
+    """Deterministic 64-bit position for ``text`` on the ring."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over named nodes (worker ids).
+
+    Not thread-safe on its own; the coordinator mutates it under the
+    membership lock.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[str] = (),
+        replicas: int = DEFAULT_REPLICAS,
+    ):
+        self.replicas = max(1, replicas)
+        self._nodes: List[str] = []
+        #: Sorted virtual-node positions and their owners.
+        self._positions: List[int] = []
+        self._owners: Dict[int, str] = {}
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> List[str]:
+        """The member node ids, in insertion order."""
+        return list(self._nodes)
+
+    def add(self, node: str) -> None:
+        """Add ``node`` (idempotent)."""
+        if node in self._nodes:
+            return
+        self._nodes.append(node)
+        for replica in range(self.replicas):
+            position = _hash(f"{node}#{replica}")
+            # A 64-bit collision between distinct vnode labels is
+            # effectively impossible; first-come ownership keeps the
+            # ring deterministic if one ever happens.
+            if position in self._owners:
+                continue
+            bisect.insort(self._positions, position)
+            self._owners[position] = node
+
+    def remove(self, node: str) -> None:
+        """Remove ``node`` (idempotent); its points move clockwise."""
+        if node not in self._nodes:
+            return
+        self._nodes.remove(node)
+        self._positions = [
+            position
+            for position in self._positions
+            if self._owners[position] != node
+        ]
+        self._owners = {
+            position: owner
+            for position, owner in self._owners.items()
+            if owner != node
+        }
+
+    def owner(
+        self, key: str, alive: Optional[Sequence[str]] = None
+    ) -> Optional[str]:
+        """The node owning ``key`` — the first node clockwise from the
+        key's position, restricted to ``alive`` when given.  ``None``
+        on an empty (or fully dead) ring."""
+        for node in self.preference(key):
+            if alive is None or node in alive:
+                return node
+        return None
+
+    def preference(self, key: str) -> Iterator[str]:
+        """Every node, in failover order for ``key``.
+
+        The first yield is the primary owner; each subsequent yield is
+        where the point lands if everything before it is dead.  The
+        order is a pure function of ``key`` and the membership, so the
+        coordinator's requeue-on-dead-worker is deterministic given the
+        same deaths.
+        """
+        if not self._positions:
+            return
+        start = bisect.bisect_right(self._positions, _hash(key))
+        seen = set()
+        count = len(self._positions)
+        for step in range(count):
+            position = self._positions[(start + step) % count]
+            node = self._owners[position]
+            if node not in seen:
+                seen.add(node)
+                yield node

@@ -48,7 +48,8 @@ __all__ = [
 ]
 
 #: Bumped whenever a report field is added, removed, or changes meaning.
-SLO_VERSION = 1
+#: v2: added ``cluster_workers`` (fleet size behind the target daemon).
+SLO_VERSION = 2
 
 #: Default request mix (weights in the round-robin schedule).
 DEFAULT_MIX = "costs=6,compile=2,simulate=1"
@@ -109,6 +110,10 @@ class LoadgenConfig:
     rate: float = 50.0
     mix: str = DEFAULT_MIX
     request_timeout_s: float = 120.0
+    #: Worker-fleet size behind the target daemon, recorded in the SLO
+    #: report so cluster and single-node trajectories never alias.
+    #: ``None`` auto-detects via ``GET /v1/cluster/stats``.
+    cluster_workers: Optional[int] = None
 
 
 class _EndpointStats:
@@ -209,10 +214,20 @@ def run_loadgen(config: LoadgenConfig) -> Dict[str, Any]:
     stop = threading.Event()
 
     # Fail fast (with the target address) before spawning workers.
+    # Loadgen clients opt out of the automatic backpressure retries:
+    # 429/503 *are* the measurement here, not an inconvenience.
     probe = ServeClient(config.host, config.port,
-                        timeout=config.request_timeout_s)
+                        timeout=config.request_timeout_s,
+                        backpressure_retries=0)
+    cluster_workers = config.cluster_workers
     try:
         probe.health()
+        if cluster_workers is None:
+            response = probe.cluster_stats()
+            cluster_workers = (
+                int((response.data or {}).get("alive", 0))
+                if response.status == 200 else 0
+            )
     finally:
         probe.close()
 
@@ -231,7 +246,8 @@ def run_loadgen(config: LoadgenConfig) -> Dict[str, Any]:
 
     def _closed_worker() -> None:
         client = ServeClient(config.host, config.port,
-                             timeout=config.request_timeout_s)
+                             timeout=config.request_timeout_s,
+                             backpressure_retries=0)
         try:
             while time.perf_counter() < deadline_holder[0] and \
                     not stop.is_set():
@@ -241,7 +257,8 @@ def run_loadgen(config: LoadgenConfig) -> Dict[str, Any]:
 
     def _open_worker(tickets: "queue.Queue") -> None:
         client = ServeClient(config.host, config.port,
-                             timeout=config.request_timeout_s)
+                             timeout=config.request_timeout_s,
+                             backpressure_retries=0)
         try:
             while True:
                 ticket = tickets.get()
@@ -322,6 +339,7 @@ def run_loadgen(config: LoadgenConfig) -> Dict[str, Any]:
         "concurrency": max(1, config.concurrency),
         "mix": {kind: weight for kind, weight in sorted(mix.items())
                 if weight > 0},
+        "cluster_workers": cluster_workers,
         "endpoints": endpoints,
         "overall": {
             "requests": total,
@@ -373,6 +391,8 @@ def slo_line(report: Dict[str, Any]) -> str:
     ]
     if saturation is not None:
         parts.append(f"saturation={saturation}rps")
+    if report.get("cluster_workers"):
+        parts.append(f"cluster={report['cluster_workers']}")
     return "SLO: " + " ".join(parts)
 
 

@@ -1,0 +1,100 @@
+"""Bounded requeue ladder for remote shard dispatch.
+
+The process-pool :class:`~repro.resilience.executor.ResilientExecutor`
+recovers from dead *worker processes* with bounded retry rounds and
+deterministic exponential backoff; the cluster coordinator needs the
+same discipline for dead *worker daemons*.  This class factors the
+ladder out so both layers share one policy: a fixed number of recovery
+rounds, ``min(cap, base * 2**round)`` seconds between rounds (the
+executor's formula), and counters mirrored into the metrics registry
+so recoveries are observable, not silent.
+
+The ladder is bookkeeping only — it never touches sockets.  The caller
+(the coordinator's sharded dispatch) decides *what* to requeue and
+*where*; the ladder decides *whether another round is allowed* and
+*how long to wait first*, and counts what happened.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["RequeueLadder"]
+
+
+class RequeueLadder:
+    """Round budget + backoff + counters for requeue-on-failure.
+
+    Parameters
+    ----------
+    max_rounds:
+        Recovery rounds after the first pass.  Each round re-dispatches
+        every still-failed item onto whatever targets survive; when the
+        budget is spent the caller falls back to computing the
+        leftovers itself (counted as ``exhausted``).
+    backoff_base / backoff_cap:
+        Exponential backoff between rounds, in seconds (same shape as
+        the executor's pool-retry backoff; ``base=0`` disables).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; counters
+        land under ``<prefix>.{requeued,recovered,exhausted,rounds}``.
+    """
+
+    def __init__(
+        self,
+        max_rounds: int = 3,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+        metrics: Optional[Any] = None,
+        prefix: str = "cluster.requeue",
+    ):
+        self.max_rounds = max(0, max_rounds)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.metrics = metrics
+        self.prefix = prefix
+        self.requeued = 0
+        self.recovered = 0
+        self.exhausted = 0
+        self.rounds_used = 0
+
+    def _count(self, name: str, value: int = 1) -> None:
+        if value and self.metrics is not None:
+            self.metrics.counter(f"{self.prefix}.{name}").inc(value)
+
+    def allow_round(self, round_index: int) -> bool:
+        """May recovery round ``round_index`` (0-based) run?  Sleeps
+        the deterministic backoff before saying yes."""
+        if round_index >= self.max_rounds:
+            return False
+        if self.backoff_base > 0:
+            time.sleep(
+                min(self.backoff_cap, self.backoff_base * (2 ** round_index))
+            )
+        self.rounds_used = max(self.rounds_used, round_index + 1)
+        self._count("rounds")
+        return True
+
+    def record_requeued(self, count: int) -> None:
+        """``count`` items failed their target and re-entered the ring."""
+        self.requeued += count
+        self._count("requeued", count)
+
+    def record_recovered(self, count: int) -> None:
+        """``count`` previously-failed items completed on a survivor."""
+        self.recovered += count
+        self._count("recovered", count)
+
+    def record_exhausted(self, count: int) -> None:
+        """``count`` items outlived the budget (serial fallback)."""
+        self.exhausted += count
+        self._count("exhausted", count)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "requeued": self.requeued,
+            "recovered": self.recovered,
+            "exhausted": self.exhausted,
+            "rounds_used": self.rounds_used,
+        }

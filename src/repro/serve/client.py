@@ -7,15 +7,19 @@ It deliberately imports nothing heavy — only :mod:`repro.api` request
 types, which are lazy themselves — so scripts and tests can hammer a
 daemon without paying the library's import bill.
 
-The client is *transport-thin* on purpose: it does not retry, pool
-connections across threads, or interpret envelopes beyond JSON
-decoding.  Callers that care about ``429 Retry-After`` backpressure
-implement their own retry policy on top (see ``docs/serving.md``).
+The client is *transport-thin* with one deliberate exception: it
+honors the daemon's explicit backpressure.  A ``429``/``503`` response
+carries ``Retry-After``, and the client sleeps that long and retries,
+bounded by ``backpressure_retries`` (pass ``0`` to opt out and see the
+raw statuses — load generators and backpressure tests do).  Everything
+else stays thin: no connection pooling across threads, no envelope
+interpretation beyond JSON decoding (see ``docs/serving.md``).
 """
 
 from __future__ import annotations
 
 import json
+import time
 from http.client import HTTPConnection
 from typing import Any, Dict, Iterator, Optional, Tuple
 
@@ -77,12 +81,30 @@ class ServeClient:
     One client == one connection == one in-flight request at a time;
     spin up one client per thread for concurrency tests.  Usable as a
     context manager.
+
+    ``backpressure_retries`` bounds how many times a ``429``/``503``
+    answer is retried after sleeping the server-suggested
+    ``Retry-After`` (capped at ``max_retry_after_s`` so a confused
+    server cannot park the client).  ``0`` disables the retries and
+    surfaces the raw backpressure statuses.
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 120.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 120.0,
+        backpressure_retries: int = 4,
+        max_retry_after_s: float = 5.0,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.backpressure_retries = backpressure_retries
+        self.max_retry_after_s = max_retry_after_s
+        #: How many backpressure sleeps this client has taken (tests
+        #: and load reports read this).
+        self.backpressure_waits = 0
         self._conn: Optional[HTTPConnection] = None
 
     def _connection(self) -> HTTPConnection:
@@ -115,13 +137,37 @@ class ServeClient:
         body: Optional[Dict[str, Any]] = None,
         request_id: Optional[str] = None,
     ) -> ServeResponse:
-        """One round-trip; reconnects once if the keep-alive went stale.
+        """One request, with bounded backpressure retries.
 
-        ``request_id`` is sent as ``X-Request-Id`` so the daemon adopts
-        the caller's correlation id instead of minting one.  Raises
+        A ``429``/``503`` answer sleeps the server's ``Retry-After``
+        (``1s`` if the header is missing, capped at
+        ``max_retry_after_s``) and retries, up to
+        ``backpressure_retries`` times; the last response is returned
+        either way so callers still see the terminal status.  Raises
         :class:`ServeConnectionError` (naming ``host:port``) when the
         daemon cannot be reached at all.
         """
+        retries = self.backpressure_retries
+        while True:
+            response = self._round_trip(method, path, body, request_id)
+            if response.status not in (429, 503) or retries <= 0:
+                return response
+            retries -= 1
+            delay = response.retry_after
+            delay = 1.0 if delay is None else max(delay, 0.0)
+            self.backpressure_waits += 1
+            time.sleep(min(delay, self.max_retry_after_s))
+
+    def _round_trip(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        request_id: Optional[str] = None,
+    ) -> ServeResponse:
+        """One raw round-trip; reconnects once if the keep-alive went
+        stale (``request_id`` rides as ``X-Request-Id`` so the daemon
+        adopts the caller's correlation id instead of minting one)."""
         payload = (
             json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
             if body is not None
@@ -228,6 +274,10 @@ class ServeClient:
     def stats(self) -> ServeResponse:
         """Fetch the daemon's cache/queue/dedup counters."""
         return self.request("GET", "/v1/stats")
+
+    def cluster_stats(self) -> ServeResponse:
+        """Fetch the coordinator's fleet membership and shard stats."""
+        return self.request("GET", "/v1/cluster/stats")
 
     def metrics(self) -> ServeResponse:
         """Fetch the full metrics-registry snapshot."""

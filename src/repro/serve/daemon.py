@@ -12,6 +12,17 @@ answers every :mod:`repro.api` request kind over a tiny JSON protocol:
 * ``POST /v1/compile`` — :class:`repro.api.CompileRequest`
 * ``POST /v1/simulate`` — :class:`repro.api.SimulateRequest`
 * ``POST /v1/sweep`` — :class:`repro.api.SweepRequest`
+* ``GET  /v1/cluster/stats`` — fleet membership and shard statistics
+* ``POST /v1/cluster/register`` / ``/v1/cluster/heartbeat`` — worker
+  liveness protocol (see :mod:`repro.cluster`)
+
+With ``--fleet N`` the daemon is a **cluster coordinator**: it boots
+``N`` local workers and shards simulated-mode sweeps over the fleet by
+consistent hash of each point's ``dedup_key`` (cache affinity), then
+reassembles byte-identical results; with ``--join HOST:PORT`` it is a
+worker that registers and heartbeats.  Liveness routes are answered
+inline on the event loop — never through the batcher — so a long sweep
+cannot starve heartbeats.
 
 Every request gets a **correlation id**: the sanitized ``X-Request-Id``
 header if the client sent one, else a freshly minted id.  The id comes
@@ -124,6 +135,14 @@ class ServerConfig:
     max_body_bytes: int = 1 << 20
     #: Write a Chrome trace of the serving window here on drain.
     trace_path: Optional[str] = None
+    #: Cluster mode: spawn this many local worker daemons and shard
+    #: sweeps over them (coordinator role; see ``docs/serving.md``).
+    fleet: int = 0
+    #: Cluster mode: register with the coordinator at ``host:port``
+    #: (worker role).  Mutually exclusive with ``fleet``.
+    join: Optional[str] = None
+    heartbeat_interval_s: float = 2.0
+    heartbeat_timeout_s: float = 6.0
 
 
 def _safe_execute(item: Tuple[Optional[str], Any]) -> Tuple[str, Any]:
@@ -184,6 +203,20 @@ class ReproServer:
         self._started_monotonic = 0.0
         self._log = get_logger("serve")
         self._bus = default_bus()
+        # Every daemon can coordinate: the coordinator object is cheap
+        # and its routes only matter once workers register.  The fleet
+        # supervisor and heartbeat agent attach in start() (they need
+        # the bound port).
+        from ..cluster import ClusterCoordinator
+
+        self.coordinator = ClusterCoordinator(
+            metrics=self.metrics,
+            heartbeat_timeout_s=config.heartbeat_timeout_s,
+            point_timeout_s=config.request_timeout_s or 60.0,
+            progress=self._bus,
+        )
+        self.fleet = None
+        self._heartbeat_agent = None
         # Recently finished request ids, so a /v1/progress subscriber
         # that connects after its request completed gets an immediate
         # request_end instead of hanging until its deadline.
@@ -210,6 +243,12 @@ class ReproServer:
             (rids[0] if rids else None, request)
             for request, rids in zip(requests, request_ids)
         ]
+        if self.coordinator.membership.alive():
+            # Coordinator role with a live fleet: route through the
+            # cluster (sweeps shard over workers, points go to their
+            # ring owner).  Sequential per batch — the parallelism
+            # lives inside the sharded dispatch.
+            return [self.coordinator.safe_execute(item) for item in items]
         return self.executor.map(_safe_execute, items)
 
     # --- lifecycle ------------------------------------------------------
@@ -221,6 +260,44 @@ class ReproServer:
         self._server = await asyncio.start_server(
             self._handle_client, self.config.host, self.config.port
         )
+        if self.config.fleet > 0:
+            from ..cluster import LocalFleet
+
+            self.fleet = LocalFleet(
+                self.config.fleet,
+                self.config.host,
+                self.port,
+                heartbeat_interval_s=self.config.heartbeat_interval_s,
+            )
+            self.fleet.start()
+        if self.config.join:
+            from ..cluster import HeartbeatAgent
+
+            host, _, port = self.config.join.rpartition(":")
+            self._heartbeat_agent = HeartbeatAgent(
+                host or "127.0.0.1",
+                int(port),
+                self.config.host,
+                self.port,
+                interval_s=self.config.heartbeat_interval_s,
+                stats_fn=self._worker_stats,
+            )
+            self._heartbeat_agent.start()
+
+    def _worker_stats(self) -> Dict[str, Any]:
+        """The lightweight per-worker stats heartbeats carry (shard
+        hit-rates for the coordinator's ``/v1/cluster/stats``)."""
+        from ..analysis.sweep import default_engine
+        from ..compiler.cache import default_cache
+
+        cache = default_cache()
+        engine = default_engine()
+        return {
+            "engine": engine.stats(),
+            "compile_cache": {
+                **cache.stats(), "hit_rate": cache.hit_rate,
+            },
+        }
 
     @property
     def port(self) -> int:
@@ -233,10 +310,17 @@ class ReproServer:
         release the worker pool, flush the trace.  Returns ``True`` when
         every queued request finished within ``timeout``."""
         self.draining = True
+        if self._heartbeat_agent is not None:
+            self._heartbeat_agent.stop()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
         clean = await self.batcher.drain(timeout)
+        if self.fleet is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.fleet.stop
+            )
+        self.coordinator.close()
         # Kick idle keep-alive connections loose so their handler
         # coroutines finish instead of waiting on a dead socket.
         for writer in list(self._connections):
@@ -271,6 +355,7 @@ class ReproServer:
             "engine": default_engine().stats(),
             "compile_cache": {**cache.stats(), "hit_rate": cache.hit_rate},
             "compile_memo_entries": memo_size(),
+            "cluster": self.coordinator.stats(),
         }
 
     # --- HTTP plumbing --------------------------------------------------
@@ -446,6 +531,41 @@ class ReproServer:
                         path, 405, "method_not_allowed", "use GET"
                     )
                 return (200, render_prometheus(self.metrics))
+            if path == "/v1/cluster/stats":
+                if method != "GET":
+                    return self._error(
+                        path, 405, "method_not_allowed", "use GET"
+                    )
+                return (
+                    200,
+                    build_envelope(
+                        "cluster_stats", data=self.coordinator.stats()
+                    ),
+                )
+            if path in ("/v1/cluster/register", "/v1/cluster/heartbeat"):
+                # Liveness traffic is handled inline on the event loop
+                # — never through the batcher — so a fleet stays
+                # registered even while the dispatcher is buried in a
+                # long sweep.
+                if method != "POST":
+                    return self._error(
+                        path, 405, "method_not_allowed", "use POST"
+                    )
+                try:
+                    data = json.loads(body.decode("utf-8")) if body else {}
+                except ValueError as exc:
+                    return self._error(
+                        path, 400, "bad_request",
+                        f"invalid JSON body ({exc})",
+                    )
+                try:
+                    if path.endswith("register"):
+                        ack = self.coordinator.register_worker(data)
+                    else:
+                        ack = self.coordinator.worker_heartbeat(data)
+                except ApiError as exc:
+                    return self._error(path, 400, "bad_request", str(exc))
+                return (200, build_envelope("cluster", data=ack))
             if path.startswith("/v1/"):
                 kind = path[len("/v1/"):]
                 if kind in REQUEST_KINDS:
@@ -699,6 +819,21 @@ def run_server(config: ServerConfig) -> int:
             f"window={config.batch_window_ms}ms)",
             flush=True,
         )
+        if config.fleet > 0:
+            # Registration arrives over this very event loop, so the
+            # wait must not block it.
+            ready = await loop.run_in_executor(
+                None,
+                server.coordinator.wait_for_workers,
+                config.fleet,
+                60.0,
+            )
+            registered = len(server.coordinator.membership.alive())
+            print(
+                f"repro serve: fleet {'ready' if ready else 'DEGRADED'} "
+                f"({registered}/{config.fleet} workers registered)",
+                flush=True,
+            )
         await stop
         print("repro serve: draining...", flush=True)
         clean = await server.drain_and_stop()

@@ -170,9 +170,10 @@ class TestRunners:
         with pytest.raises(ApiError, match="not an API request"):
             execute("costs")  # type: ignore[arg-type]
 
-    def test_api_version_is_two(self):
-        # Bumped to 2 when requests grew the ``mode`` field.
-        assert API_VERSION == 2
+    def test_api_version_is_three(self):
+        # 2: requests grew the ``mode`` field.  3: SimulateResult grew
+        # the raw busy-cycle fields cluster workers ship back.
+        assert API_VERSION == 3
 
 
 class TestExecutionModes:

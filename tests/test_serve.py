@@ -110,7 +110,7 @@ class TestEndpointEquivalence:
         response = client.costs(8, 5)
         validate_envelope(response.payload)
         assert response.payload["kind"] == "costs"
-        assert response.payload["api_version"] == 2
+        assert response.payload["api_version"] == 3
         assert "duration_ms" in response.payload["meta"]
 
 
@@ -200,7 +200,10 @@ class TestBackpressure:
                     first = pool.submit(lambda: c1.costs(9, 2))
                     time.sleep(0.2)
                     # ...then a *different* query must be refused.
-                    with ServeClient("127.0.0.1", server.port) as c2:
+                    # (Retries off: the raw 429 is the assertion.)
+                    with ServeClient(
+                        "127.0.0.1", server.port, backpressure_retries=0
+                    ) as c2:
                         refused = c2.costs(9, 4)
                     assert refused.status == 429
                     assert refused.error["code"] == "queue_full"
@@ -210,7 +213,9 @@ class TestBackpressure:
     def test_draining_answers_503(self):
         with running_server() as server:
             server.draining = True
-            with ServeClient("127.0.0.1", server.port) as c:
+            with ServeClient(
+                "127.0.0.1", server.port, backpressure_retries=0
+            ) as c:
                 response = c.costs(8, 5)
             assert response.status == 503
             assert response.error["code"] == "draining"
@@ -525,3 +530,154 @@ class TestOperationalFailures:
         message = str(excinfo.value)
         assert f"127.0.0.1:{free_port}" in message
         assert "repro serve" in message
+
+
+@contextlib.contextmanager
+def scripted_daemon(script, keep_alive=False):
+    """A raw-socket daemon stand-in serving a fixed response script.
+
+    Each accepted connection answers exactly one request with the next
+    ``(status, extra_headers, payload)`` entry (the last entry repeats),
+    then closes — advertising keep-alive when asked, which makes the
+    advertised-but-closed connection exactly the stale keep-alive the
+    client must transparently survive.
+    """
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(8)
+    port = listener.getsockname()[1]
+    served = []
+    stop = threading.Event()
+
+    def _serve():
+        while not stop.is_set():
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                return
+            with conn:
+                try:
+                    buffered = b""
+                    while b"\r\n\r\n" not in buffered:
+                        chunk = conn.recv(4096)
+                        if not chunk:
+                            raise ConnectionError("client went away")
+                        buffered += chunk
+                    head, _, rest = buffered.partition(b"\r\n\r\n")
+                    length = 0
+                    for line in head.split(b"\r\n")[1:]:
+                        name, _, value = line.partition(b":")
+                        if name.strip().lower() == b"content-length":
+                            length = int(value.strip())
+                    while len(rest) < length:
+                        rest += conn.recv(4096)
+                    status, extra, payload = script[
+                        min(len(served), len(script) - 1)
+                    ]
+                    served.append(status)
+                    body = json.dumps(payload).encode()
+                    connection = "keep-alive" if keep_alive else "close"
+                    head_lines = [
+                        f"HTTP/1.1 {status} X",
+                        "Content-Type: application/json",
+                        f"Content-Length: {len(body)}",
+                        f"Connection: {connection}",
+                    ] + list(extra)
+                    conn.sendall(
+                        ("\r\n".join(head_lines) + "\r\n\r\n").encode()
+                        + body
+                    )
+                except (ConnectionError, OSError, ValueError):
+                    continue
+
+    thread = threading.Thread(target=_serve, daemon=True)
+    thread.start()
+    try:
+        yield port, served
+    finally:
+        stop.set()
+        listener.close()
+        thread.join(2)
+
+
+class TestClientReconnect:
+    def test_stale_keepalive_reconnects_once_transparently(self):
+        """A keep-alive connection the server already closed must cost
+        one transparent reconnect, not a client-visible error."""
+        ok = (200, [], {"ok": True, "data": {"status": "ok"}})
+        with scripted_daemon([ok], keep_alive=True) as (port, served):
+            with ServeClient("127.0.0.1", port) as c:
+                first = c.request("GET", "/healthz")
+                # The daemon advertised keep-alive but hung up; the
+                # client's cached connection is now stale.
+                second = c.request("GET", "/healthz")
+        assert first.status == 200
+        assert second.status == 200
+        # Two accepts for two requests proves the second request went
+        # through the reconnect path rather than the cached socket.
+        assert len(served) == 2
+
+    def test_refused_connection_names_host_and_port(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+        probe.close()
+        with ServeClient("127.0.0.1", free_port) as c:
+            with pytest.raises(ServeConnectionError) as excinfo:
+                c.costs(8, 5)
+        assert f"127.0.0.1:{free_port}" in str(excinfo.value)
+
+
+class TestClientBackpressureRetry:
+    BUSY = (
+        429,
+        ["Retry-After: 0.01"],
+        {"ok": False, "error": {"code": "queue_full", "message": "full"}},
+    )
+    OK = (200, [], {"ok": True, "data": {"answer": 42}})
+
+    def test_retries_until_success_honoring_retry_after(self):
+        with scripted_daemon([self.BUSY, self.BUSY, self.OK]) as (
+            port, served,
+        ):
+            with ServeClient("127.0.0.1", port) as c:
+                response = c.costs(8, 5)
+        assert response.status == 200
+        assert response.data == {"answer": 42}
+        assert served == [429, 429, 200]
+        assert c.backpressure_waits == 2
+
+    def test_retry_budget_is_bounded(self):
+        always_busy = [self.BUSY]
+        with scripted_daemon(always_busy) as (port, served):
+            with ServeClient(
+                "127.0.0.1", port, backpressure_retries=2
+            ) as c:
+                response = c.costs(8, 5)
+        assert response.status == 429  # surfaced after the budget
+        assert served == [429, 429, 429]  # initial try + 2 retries
+        assert c.backpressure_waits == 2
+
+    def test_opt_out_surfaces_raw_status_without_sleeping(self):
+        with scripted_daemon([self.BUSY]) as (port, served):
+            with ServeClient(
+                "127.0.0.1", port, backpressure_retries=0
+            ) as c:
+                response = c.costs(8, 5)
+        assert response.status == 429
+        assert served == [429]
+        assert c.backpressure_waits == 0
+
+    def test_503_draining_is_retried_too(self):
+        draining = (
+            503,
+            ["Retry-After: 0.01"],
+            {"ok": False,
+             "error": {"code": "draining", "message": "draining"}},
+        )
+        with scripted_daemon([draining, self.OK]) as (port, served):
+            with ServeClient("127.0.0.1", port) as c:
+                response = c.costs(8, 5)
+        assert response.status == 200
+        assert served == [503, 200]
+        assert c.backpressure_waits == 1
