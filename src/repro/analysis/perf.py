@@ -56,33 +56,42 @@ class KernelSpeedupSeries:
 def figure13_kernel_speedups(
     n_values: Sequence[int] = FIG13_N_VALUES,
     mode: str = "simulated",
+    kernels: Optional[Sequence[str]] = None,
 ) -> List[KernelSpeedupSeries]:
-    """Figure 13: intracluster kernel speedups over C=8/N=5, at C=8."""
+    """Figure 13: intracluster kernel speedups over C=8/N=5, at C=8.
+
+    ``kernels`` restricts the study to a subset of the suite — or to
+    registered ``kernel:<hash>`` names — instead of the full
+    :data:`PERFORMANCE_SUITE`.
+    """
     return _kernel_speedups(
-        [ProcessorConfig(BASELINE[0], n) for n in n_values], mode
+        [ProcessorConfig(BASELINE[0], n) for n in n_values], mode, kernels
     )
 
 
 def figure14_kernel_speedups(
     c_values: Sequence[int] = FIG14_C_VALUES,
     mode: str = "simulated",
+    kernels: Optional[Sequence[str]] = None,
 ) -> List[KernelSpeedupSeries]:
     """Figure 14: intercluster kernel speedups over C=8/N=5, at N=5."""
     return _kernel_speedups(
-        [ProcessorConfig(c, BASELINE[1]) for c in c_values], mode
+        [ProcessorConfig(c, BASELINE[1]) for c in c_values], mode, kernels
     )
 
 
 def _kernel_speedups(
     configs: Sequence[ProcessorConfig],
     mode: str = "simulated",
+    kernels: Optional[Sequence[str]] = None,
 ) -> List[KernelSpeedupSeries]:
+    suite = tuple(kernels) if kernels else PERFORMANCE_SUITE
     engine = default_engine()
     baseline = ProcessorConfig(*BASELINE)
     engine.compile_kernels(
         [
             (name, config)
-            for name in PERFORMANCE_SUITE
+            for name in suite
             for config in [baseline, *configs]
         ],
         mode=mode,
@@ -91,7 +100,7 @@ def _kernel_speedups(
     per_config_speedups: Dict[ProcessorConfig, List[float]] = {
         c: [] for c in configs
     }
-    for name in PERFORMANCE_SUITE:
+    for name in suite:
         base_rate = engine.kernel_rate(name, baseline, mode)
         points = []
         for config in configs:
@@ -143,17 +152,21 @@ def table5_performance_per_area(
     n_values: Sequence[int] = TABLE5_N_VALUES,
     c_values: Sequence[int] = TABLE5_C_VALUES,
     mode: str = "simulated",
+    kernels: Optional[Sequence[str]] = None,
 ) -> Dict[Tuple[int, int], float]:
     """Table 5: harmonic-mean kernel GOPS per unit area over the grid.
 
     The unit is chosen as in the paper: a processor with the area of
-    exactly N bare ALUs sustaining N ops/cycle scores 1.0.
+    exactly N bare ALUs sustaining N ops/cycle scores 1.0.  ``kernels``
+    restricts the harmonic mean to a subset of the suite (or to
+    registered ``kernel:<hash>`` names).
     """
+    suite = tuple(kernels) if kernels else PERFORMANCE_SUITE
     engine = default_engine()
     engine.compile_kernels(
         [
             (name, ProcessorConfig(c, n))
-            for name in PERFORMANCE_SUITE
+            for name in suite
             for n in n_values
             for c in c_values
         ],
@@ -167,7 +180,7 @@ def table5_performance_per_area(
                 performance_per_area(
                     config, engine.kernel_rate(name, config, mode)
                 )
-                for name in PERFORMANCE_SUITE
+                for name in suite
             ]
             grid[(c, n)] = harmonic_mean(efficiencies)
     return grid

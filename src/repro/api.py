@@ -44,7 +44,9 @@ __all__ = [
     "CompileResult",
     "CostQuery",
     "CostResult",
+    "KernelRef",
     "REQUEST_KINDS",
+    "RegisterKernelRequest",
     "SimulateRequest",
     "SimulateResult",
     "SweepRequest",
@@ -54,14 +56,17 @@ __all__ = [
     "request_from_dict",
     "run_compile",
     "run_cost_query",
+    "run_register",
     "run_simulate",
     "run_sweep",
     "validate_request",
 ]
 
 #: Bumped whenever a request or result field is added, removed, or
-#: changes meaning.
-API_VERSION = 3
+#: changes meaning.  v4 added registered kernels: the ``kernels``
+#: request kind (RegisterKernelRequest -> KernelRef), ``kernel:<hash>``
+#: references in compile/simulate requests, and SweepRequest.kernel.
+API_VERSION = 4
 
 #: Sweep targets :func:`run_sweep` understands.
 SWEEP_TARGETS = ("fig13", "fig14", "table5", "fig15", "headline")
@@ -271,6 +276,10 @@ class SweepRequest(_Payload):
     apps: bool = False
     workers: Optional[int] = None
     mode: str = "simulated"
+    #: Restrict a kernel study (fig13/fig14/table5) to one kernel — a
+    #: suite name or a registered ``kernel:<hash>`` reference.  Empty
+    #: means the full performance suite.
+    kernel: str = ""
 
     def validate(self) -> None:
         """Raise :class:`ApiError` unless the request is well-formed."""
@@ -290,6 +299,37 @@ class SweepRequest(_Payload):
             "SweepRequest: workers must be None or an integer >= 1",
         )
         _check_mode(self.mode, "SweepRequest")
+        _require(
+            isinstance(self.kernel, str),
+            "SweepRequest: kernel must be a string",
+        )
+        _require(
+            not self.kernel or self.target in ("fig13", "fig14", "table5"),
+            "SweepRequest: kernel only applies to the kernel studies "
+            "(fig13, fig14, table5)",
+        )
+
+
+@dataclass(frozen=True)
+class RegisterKernelRequest(_Payload):
+    """Register one kernel document (see :mod:`repro.frontend`).
+
+    ``document`` is a schema-versioned JSON DFG; registration
+    validates it (every rejection names a JSON pointer and a stable
+    error code), canonicalizes it, and stores it under the SHA-256 of
+    the canonical bytes.  Idempotent: re-registering the same content
+    returns the same :class:`KernelRef`.
+    """
+
+    document: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Raise :class:`ApiError` unless the request is well-formed."""
+        _require(
+            isinstance(self.document, dict) and bool(self.document),
+            "RegisterKernelRequest: document must be a non-empty "
+            "JSON object",
+        )
 
 
 # --- results ------------------------------------------------------------
@@ -412,16 +452,45 @@ class SweepResult(_Payload):
     rows: Tuple[Dict[str, Any], ...] = ()
 
 
+@dataclass(frozen=True)
+class KernelRef(_Payload):
+    """A registered kernel's address and deterministic summary.
+
+    ``ref`` (``kernel:<sha256>``) is what compile/simulate/sweep
+    requests accept wherever a built-in kernel name is accepted.  The
+    payload is deterministic (content-derived, no timestamps), so
+    registration coalesces through the daemon's dedup like any query.
+    """
+
+    kernel_id: str = ""
+    ref: str = ""
+    name: str = ""
+    schema_version: int = 0
+    nodes: int = 0
+    alu_ops: int = 0
+    srf_accesses: int = 0
+    comms: int = 0
+    sp_accesses: int = 0
+    input_streams: Tuple[str, ...] = ()
+    output_streams: Tuple[str, ...] = ()
+
+
 #: Request-kind names, as the serving endpoints and envelopes spell them.
 REQUEST_KINDS: Dict[str, Type[_Payload]] = {
     "costs": CostQuery,
     "compile": CompileRequest,
     "simulate": SimulateRequest,
     "sweep": SweepRequest,
+    "kernels": RegisterKernelRequest,
 }
 
-AnyRequest = Union[CostQuery, CompileRequest, SimulateRequest, SweepRequest]
-AnyResult = Union[CostResult, CompileResult, SimulateResult, SweepResult]
+AnyRequest = Union[
+    CostQuery, CompileRequest, SimulateRequest, SweepRequest,
+    RegisterKernelRequest,
+]
+AnyResult = Union[
+    CostResult, CompileResult, SimulateResult, SweepResult, KernelRef,
+]
 
 
 def request_from_dict(kind: str, data: Any) -> AnyRequest:
@@ -456,21 +525,64 @@ def validate_request(request: AnyRequest) -> None:
     """
     request.validate()
     if isinstance(request, CompileRequest):
-        from .kernels.suite import KERNELS
+        if request.kernel.startswith("kernel:"):
+            _check_kernel_ref(request.kernel)
+        else:
+            from .kernels.suite import KERNELS
 
-        _require(
-            request.kernel in KERNELS,
-            f"unknown kernel {request.kernel!r}; "
-            f"available: {', '.join(sorted(KERNELS))}",
-        )
+            _require(
+                request.kernel in KERNELS,
+                f"unknown kernel {request.kernel!r}; "
+                f"available: {', '.join(sorted(KERNELS))}",
+            )
     elif isinstance(request, SimulateRequest):
-        from .apps.suite import APPLICATION_ORDER
+        if request.application.startswith("kernel:"):
+            _require(
+                request.mode == "simulated",
+                "SimulateRequest: registered kernels run as synthetic "
+                "microbenchmarks and require mode='simulated' (the "
+                "analytical model covers the built-in applications)",
+            )
+            _check_kernel_ref(request.application)
+        else:
+            from .apps.suite import APPLICATION_ORDER
 
-        _require(
-            request.application in APPLICATION_ORDER,
-            f"unknown application {request.application!r}; "
-            f"available: {', '.join(APPLICATION_ORDER)}",
-        )
+            _require(
+                request.application in APPLICATION_ORDER,
+                f"unknown application {request.application!r}; "
+                f"available: {', '.join(APPLICATION_ORDER)}",
+            )
+    elif isinstance(request, SweepRequest):
+        if request.kernel.startswith("kernel:"):
+            _check_kernel_ref(request.kernel)
+        elif request.kernel:
+            from .kernels.suite import KERNELS
+
+            _require(
+                request.kernel in KERNELS,
+                f"unknown kernel {request.kernel!r}; "
+                f"available: {', '.join(sorted(KERNELS))}",
+            )
+    elif isinstance(request, RegisterKernelRequest):
+        from .frontend.loader import parse_document
+        from .frontend.schema import KernelValidationError
+
+        try:
+            parse_document(request.document)
+        except KernelValidationError as exc:
+            # str(exc) carries "<code> at <pointer>: <message>" — the
+            # JSON-pointer contract survives into the API error.
+            raise ApiError(f"invalid kernel document: {exc}") from None
+
+
+def _check_kernel_ref(ref: str) -> None:
+    """A ``kernel:<hash>`` name must resolve in the default registry."""
+    from .frontend.registry import default_registry
+
+    try:
+        default_registry().resolve(ref)
+    except KeyError as exc:
+        raise ApiError(str(exc.args[0] if exc.args else exc)) from None
 
 
 # --- execution ----------------------------------------------------------
@@ -577,8 +689,20 @@ def _config_row(config: Any) -> Dict[str, Any]:
 
 
 def run_sweep(request: SweepRequest) -> SweepResult:
-    """Regenerate one study as rows (shared sweep-engine memo underneath)."""
+    """Regenerate one study as rows (shared sweep-engine memo underneath).
+
+    ``request.kernel`` restricts the kernel studies to one kernel.  Row
+    labels always carry the kernel graph's *own* name, so sweeping a
+    registered copy of a built-in yields rows byte-identical to sweeping
+    the built-in directly — the frontend conformance contract.
+    """
     validate_request(request)
+    kernels = (request.kernel,) if request.kernel else None
+    label = request.kernel
+    if request.kernel.startswith("kernel:"):
+        from .kernels.suite import get_kernel
+
+        label = get_kernel(request.kernel).name
     rows: list = []
     if request.target in ("fig13", "fig14"):
         from .analysis.perf import (
@@ -587,20 +711,21 @@ def run_sweep(request: SweepRequest) -> SweepResult:
         )
 
         series = (
-            figure13_kernel_speedups(mode=request.mode)
+            figure13_kernel_speedups(mode=request.mode, kernels=kernels)
             if request.target == "fig13"
-            else figure14_kernel_speedups(mode=request.mode)
+            else figure14_kernel_speedups(mode=request.mode, kernels=kernels)
         )
         for entry in series:
+            name = label if entry.kernel == request.kernel else entry.kernel
             for config, speedup in entry.points:
                 rows.append(
-                    {"kernel": entry.kernel, **_config_row(config),
+                    {"kernel": name, **_config_row(config),
                      "speedup": speedup}
                 )
     elif request.target == "table5":
         from .analysis.perf import table5_performance_per_area
 
-        grid = table5_performance_per_area(mode=request.mode)
+        grid = table5_performance_per_area(mode=request.mode, kernels=kernels)
         for (c, n), value in sorted(grid.items()):
             rows.append({"clusters": c, "alus": n, "perf_per_area": value})
     elif request.target == "fig15":
@@ -643,11 +768,40 @@ def run_sweep(request: SweepRequest) -> SweepResult:
     return SweepResult(target=request.target, rows=tuple(rows))
 
 
+def run_register(request: RegisterKernelRequest) -> KernelRef:
+    """Validate + register one kernel document; returns its address.
+
+    Registration goes to the process-wide default registry
+    (:func:`repro.frontend.registry.default_registry`), which persists
+    to disk so separate processes — CLI invocations, cluster workers —
+    resolve the same references.
+    """
+    validate_request(request)
+    from .frontend.registry import default_registry, summarize
+
+    entry = default_registry().register(request.document)
+    summary = summarize(entry.kernel_id, entry.document)
+    return KernelRef(
+        kernel_id=summary["kernel_id"],
+        ref=summary["ref"],
+        name=summary["name"],
+        schema_version=summary["schema_version"],
+        nodes=summary["nodes"],
+        alu_ops=summary["alu_ops"],
+        srf_accesses=summary["srf_accesses"],
+        comms=summary["comms"],
+        sp_accesses=summary["sp_accesses"],
+        input_streams=tuple(summary["input_streams"]),
+        output_streams=tuple(summary["output_streams"]),
+    )
+
+
 _RUNNERS = {
     CostQuery: run_cost_query,
     CompileRequest: run_compile,
     SimulateRequest: run_simulate,
     SweepRequest: run_sweep,
+    RegisterKernelRequest: run_register,
 }
 
 

@@ -89,7 +89,18 @@ EXTRA_APPLICATIONS: Dict[str, ApplicationInfo] = {
 
 
 def get_application(name: str) -> StreamProgram:
-    """Build the named application's stream program."""
+    """Build the named application's stream program.
+
+    ``kernel:<hash>`` names resolve through the registered-kernel
+    frontend to the canonical single-kernel microbenchmark program
+    (load -> kernel -> store), so user kernels are simulatable without
+    a hand-written application around them.
+    """
+    if name.startswith("kernel:"):
+        from ..frontend.bench import microbench_program
+        from ..frontend.registry import default_registry
+
+        return microbench_program(name, default_registry().graph(name))
     if name in APPLICATIONS:
         return APPLICATIONS[name].builder()
     if name in EXTRA_APPLICATIONS:

@@ -241,9 +241,40 @@ def cmd_costs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _register_kernel_file(path: str) -> Optional[str]:
+    """Register the kernel document at ``path``; its ``kernel:<hash>``
+    ref on success, ``None`` (with the error on stderr) otherwise."""
+    from .frontend import KernelValidationError
+    from .frontend.registry import default_registry
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        print(f"cannot read kernel file {path}: {exc}", file=sys.stderr)
+        return None
+    except ValueError as exc:
+        print(f"kernel file {path} is not JSON: {exc}", file=sys.stderr)
+        return None
+    try:
+        return default_registry().register(document).ref
+    except KernelValidationError as exc:
+        print(f"invalid kernel document {path}: {exc}", file=sys.stderr)
+        return None
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     from .api import ApiError, CompileRequest, run_compile
 
+    if args.kernel_file:
+        ref = _register_kernel_file(args.kernel_file)
+        if ref is None:
+            return 2
+        args.kernel = ref
+    if not args.kernel:
+        print("compile: a kernel name or --kernel-file is required",
+              file=sys.stderr)
+        return 2
     try:
         result = run_compile(
             CompileRequest(args.kernel, args.clusters, args.alus)
@@ -297,12 +328,28 @@ def _run_instrumented(args: argparse.Namespace, tracer: Tracer):
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    if args.application not in APPLICATION_ORDER:
+    if args.kernel_file:
+        ref = _register_kernel_file(args.kernel_file)
+        if ref is None:
+            return 2
+        args.application = ref
+    if not args.application:
+        print("simulate: an application name or --kernel-file is required",
+              file=sys.stderr)
+        return 2
+    is_kernel_ref = args.application.startswith("kernel:")
+    if not is_kernel_ref and args.application not in APPLICATION_ORDER:
         print(f"unknown application {args.application!r}; "
-              f"available: {', '.join(APPLICATION_ORDER)}", file=sys.stderr)
+              f"available: {', '.join(APPLICATION_ORDER)} "
+              f"(or a registered kernel:<hash> reference)", file=sys.stderr)
         return 2
     config = _config(args)
     if args.mode == "analytical":
+        if is_kernel_ref:
+            print("mode 'analytical' models the built-in applications; "
+                  "registered kernels need --mode simulated",
+                  file=sys.stderr)
+            return 2
         return _simulate_analytical(args, config)
     if args.json or args.trace_out:
         tracer = Tracer()
@@ -770,6 +817,86 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 0 if report["overall"]["ok"] > 0 else 1
 
 
+def cmd_kernel_register(args: argparse.Namespace) -> int:
+    from .api import ApiError, RegisterKernelRequest, run_register
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        print(f"cannot read kernel file {args.file}: {exc}",
+              file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"kernel file {args.file} is not JSON: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        result = run_register(RegisterKernelRequest(document))
+    except ApiError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.json:
+        return _emit_envelope("kernels", result.to_dict())
+    print(f"registered kernel '{result.name}'")
+    print(f"  ref:      {result.ref}")
+    print(f"  nodes:    {result.nodes} "
+          f"({result.alu_ops} ALU ops, {result.srf_accesses} SRF, "
+          f"{result.comms} comms, {result.sp_accesses} scratchpad)")
+    print(f"  inputs:   {', '.join(result.input_streams) or '-'}")
+    print(f"  outputs:  {', '.join(result.output_streams) or '-'}")
+    print(f"  compile:  repro compile {result.ref}")
+    print(f"  simulate: repro simulate {result.ref}")
+    return 0
+
+
+def cmd_kernel_list(args: argparse.Namespace) -> int:
+    from .frontend.registry import default_registry
+
+    kernels = default_registry().list()
+    if args.json:
+        return _emit_envelope("kernels", {"kernels": kernels})
+    if not kernels:
+        print("no registered kernels")
+        return 0
+    for entry in kernels:
+        print(f"{entry['ref']}")
+        print(f"  name: {entry['name']}  nodes: {entry['nodes']}  "
+              f"alu_ops: {entry['alu_ops']}")
+    return 0
+
+
+def cmd_kernel_show(args: argparse.Namespace) -> int:
+    from .frontend.registry import (
+        KERNEL_REF_PREFIX,
+        default_registry,
+        summarize,
+    )
+
+    registry = default_registry()
+    ref = args.ref
+    if not ref.startswith(KERNEL_REF_PREFIX):
+        ref = KERNEL_REF_PREFIX + ref
+    try:
+        entry = registry.resolve(ref)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    document = entry.document
+    summary = dict(summarize(entry.kernel_id, document))
+    if args.json:
+        summary["document"] = document
+        return _emit_envelope("kernel", summary)
+    print(f"kernel '{summary['name']}' ({summary['ref']})")
+    print(f"  nodes:    {summary['nodes']} "
+          f"({summary['alu_ops']} ALU ops, {summary['srf_accesses']} SRF, "
+          f"{summary['comms']} comms, {summary['sp_accesses']} scratchpad)")
+    print(f"  inputs:   {', '.join(summary['input_streams']) or '-'}")
+    print(f"  outputs:  {', '.join(summary['output_streams']) or '-'}")
+    print(json.dumps(document, indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -787,15 +914,50 @@ def build_parser() -> argparse.ArgumentParser:
     costs.set_defaults(func=cmd_costs)
 
     comp = sub.add_parser("compile", help="compile a suite kernel")
-    comp.add_argument("kernel", help="kernel name (e.g. fft)")
+    comp.add_argument("kernel", nargs="?", default=None,
+                      help="kernel name (e.g. fft) or a registered "
+                           "kernel:<hash> reference")
+    comp.add_argument("--kernel-file", metavar="PATH", default=None,
+                      help="register the kernel document at PATH and "
+                           "compile it")
     _add_config_arguments(comp)
     comp.add_argument("--json", action="store_true",
                       help="emit a versioned JSON envelope")
     _add_cache_arguments(comp)
     comp.set_defaults(func=cmd_compile)
 
+    kern = sub.add_parser(
+        "kernel",
+        help="register and inspect user kernel documents",
+    )
+    ksub = kern.add_subparsers(dest="kernel_command", required=True)
+    kreg = ksub.add_parser(
+        "register", help="validate + register a kernel document"
+    )
+    kreg.add_argument("file", help="path to a kernel JSON document")
+    kreg.add_argument("--json", action="store_true",
+                      help="emit a versioned JSON envelope")
+    kreg.set_defaults(func=cmd_kernel_register)
+    klist = ksub.add_parser("list", help="list registered kernels")
+    klist.add_argument("--json", action="store_true",
+                       help="emit a versioned JSON envelope")
+    klist.set_defaults(func=cmd_kernel_list)
+    kshow = ksub.add_parser(
+        "show", help="print one registered kernel's document"
+    )
+    kshow.add_argument("ref", help="kernel:<hash> ref, bare hash, or a "
+                                   "unique prefix (>= 8 hex chars)")
+    kshow.add_argument("--json", action="store_true",
+                       help="emit a versioned JSON envelope")
+    kshow.set_defaults(func=cmd_kernel_show)
+
     sim = sub.add_parser("simulate", help="simulate an application")
-    sim.add_argument("application", help="application name (e.g. depth)")
+    sim.add_argument("application", nargs="?", default=None,
+                     help="application name (e.g. depth) or a "
+                          "registered kernel:<hash> reference")
+    sim.add_argument("--kernel-file", metavar="PATH", default=None,
+                     help="register the kernel document at PATH and "
+                          "simulate its microbenchmark")
     _add_config_arguments(sim)
     sim.add_argument("--timeline", action="store_true",
                      help="print the stream-operation timeline")

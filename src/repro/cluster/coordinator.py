@@ -44,6 +44,7 @@ from ..api import (
     CompileRequest,
     CompileResult,
     CostQuery,
+    RegisterKernelRequest,
     SimulateRequest,
     SimulateResult,
     SweepRequest,
@@ -85,26 +86,29 @@ def expand_sweep_points(request: SweepRequest) -> List[AnyRequest]:
     from ..kernels.suite import PERFORMANCE_SUITE
 
     base_c, base_n = BASELINE
+    # A kernel-restricted study (SweepRequest.kernel) shards the same
+    # way as the full suite — its points just cover one kernel.
+    suite = (request.kernel,) if request.kernel else PERFORMANCE_SUITE
     configs: List[Tuple[int, int]]
     points: List[AnyRequest] = []
     if request.target == "fig13":
         configs = [(base_c, base_n)] + [(base_c, n) for n in FIG13_N_VALUES]
         points = [
             CompileRequest(kernel, c, n)
-            for kernel in PERFORMANCE_SUITE
+            for kernel in suite
             for c, n in configs
         ]
     elif request.target == "fig14":
         configs = [(base_c, base_n)] + [(c, base_n) for c in FIG14_C_VALUES]
         points = [
             CompileRequest(kernel, c, n)
-            for kernel in PERFORMANCE_SUITE
+            for kernel in suite
             for c, n in configs
         ]
     elif request.target == "table5":
         points = [
             CompileRequest(kernel, c, n)
-            for kernel in PERFORMANCE_SUITE
+            for kernel in suite
             for n in TABLE5_N_VALUES
             for c in TABLE5_C_VALUES
         ]
@@ -336,11 +340,39 @@ class ClusterCoordinator:
                 return self._sharded_sweep(request)
             self._count("cluster.points_local")
             return execute(request)
+        if isinstance(request, RegisterKernelRequest):
+            # Registration is local-first (the shared disk registry is
+            # the durable sharing path), then broadcast best-effort so
+            # workers with memory-only registries can still resolve the
+            # ref when a sharded point lands on them.
+            result = execute(request)
+            if alive:
+                self._broadcast_registration(request, alive)
+            return result
         if isinstance(request, CostQuery) or not alive:
             if not isinstance(request, CostQuery):
                 self._count("cluster.points_local")
             return execute(request)
         return self._route_point(request)
+
+    def _broadcast_registration(
+        self, request: RegisterKernelRequest, alive: List[str]
+    ) -> None:
+        """Best-effort fan-out of one registration to the live fleet.
+
+        Failures are swallowed: registration already succeeded locally
+        and on the shared disk registry, and a worker that missed the
+        broadcast re-reads the document from disk on first resolve.
+        """
+        for worker_id in alive:
+            client = self._client_for(worker_id)
+            if client is None:
+                continue
+            try:
+                client.post("kernels", request.to_dict())
+                self._count("cluster.kernel_broadcasts")
+            except (ConnectionError, OSError):
+                self._drop_client(worker_id, self._route_clients)
 
     # --- single-point routing -------------------------------------------
 

@@ -1,0 +1,96 @@
+"""Synthetic microbenchmark program around one registered kernel.
+
+Built-in applications are hand-written multi-kernel pipelines; a
+registered kernel has no such context, so simulating one wraps it in
+the canonical single-kernel stream program: load the input streams
+from memory, run the kernel, store the output streams — strip-mined
+into batches (exactly as the hand-written applications are) so one
+batch's working set fits the SRF even at the small end of the paper's
+(C, N) grid.  That gives ``repro simulate kernel:<hash>`` (and the
+SimulateRequest path behind it) a deterministic, comparable cycle
+count for any user kernel.
+"""
+
+from __future__ import annotations
+
+from ..apps.streamc import StreamProgram
+from ..isa.kernel import KernelGraph
+from ..isa.ops import Opcode
+
+__all__ = ["KERNEL_BENCH_WORK_ITEMS", "microbench_program"]
+
+#: Total inner-loop iterations (across the whole machine) per run.
+#: Large enough that pipelined steady state dominates at every paper
+#: (C, N) point, small enough to simulate in well under a second.
+KERNEL_BENCH_WORK_ITEMS = 4096
+
+#: SRF words one batch may occupy (inputs + outputs live together).
+#: The smallest paper grid machine (C=8, N=2) has a ~17k-word SRF;
+#: half that leaves room for double-buffering the next batch's loads.
+_BATCH_SRF_BUDGET_WORDS = 8192
+
+_READS = (Opcode.SB_READ, Opcode.COND_READ)
+_WRITES = (Opcode.SB_WRITE, Opcode.COND_WRITE)
+
+
+def _accesses_per_iteration(kernel: KernelGraph, opcodes) -> dict:
+    counts: dict = {}
+    for node in kernel.nodes:
+        if node.opcode in opcodes:
+            counts[node.name] = counts.get(node.name, 0) + 1
+    return counts
+
+
+def _batch_items(words_per_iteration: int, work_items: int) -> int:
+    """Largest power-of-two batch whose streams fit the SRF budget."""
+    batch = 1
+    while (
+        batch * 2 <= work_items
+        and batch * 2 * words_per_iteration <= _BATCH_SRF_BUDGET_WORDS
+    ):
+        batch *= 2
+    return batch
+
+
+def microbench_program(
+    name: str,
+    kernel: KernelGraph,
+    work_items: int = KERNEL_BENCH_WORK_ITEMS,
+) -> StreamProgram:
+    """The strip-mined load -> kernel -> store program for ``kernel``.
+
+    Every stream batch is sized ``batch_items * accesses_per_iteration``
+    so a full run never starves an input (conditional streams are sized
+    for the worst case: every iteration's predicate true).
+    """
+    program = StreamProgram(name)
+    reads = _accesses_per_iteration(kernel, _READS)
+    writes = _accesses_per_iteration(kernel, _WRITES)
+    words_per_iteration = sum(reads.values()) + sum(writes.values())
+    batch = _batch_items(max(1, words_per_iteration), work_items)
+    for index, start in enumerate(range(0, work_items, batch)):
+        items = min(batch, work_items - start)
+        inputs = []
+        for stream_name in kernel.input_streams():
+            stream = program.stream(
+                f"{stream_name}@{index}",
+                elements=items * reads[stream_name],
+                in_memory=True,
+            )
+            program.load(stream)
+            inputs.append(stream)
+        outputs = [
+            program.stream(
+                f"{stream_name}@{index}",
+                elements=items * writes[stream_name],
+            )
+            for stream_name in kernel.output_streams()
+        ]
+        program.kernel(
+            kernel, inputs, outputs, work_items=items,
+            label=f"{kernel.name}[{index}]",
+        )
+        for stream in outputs:
+            program.store(stream)
+    program.validate()
+    return program

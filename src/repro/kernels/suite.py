@@ -108,8 +108,14 @@ def get_kernel(name: str) -> KernelGraph:
     """Return the (memoized) kernel graph for ``name``.
 
     Graphs are immutable once built; memoization lets the compilation
-    cache key on graph identity.
+    cache key on graph identity.  ``kernel:<hash>`` names resolve
+    through the registered-kernel frontend (same memoization contract:
+    the registry hands back one graph instance per id per process).
     """
+    if name.startswith("kernel:"):
+        from ..frontend.registry import resolve_registered_graph
+
+        return resolve_registered_graph(name)
     if name not in KERNELS:
         raise KeyError(
             f"unknown kernel {name!r}; available: {sorted(KERNELS)}"

@@ -26,6 +26,7 @@ from typing import Any, Dict, Iterator, Optional, Tuple
 from ..api import (
     CompileRequest,
     CostQuery,
+    RegisterKernelRequest,
     SimulateRequest,
     SweepRequest,
 )
@@ -264,12 +265,38 @@ class ServeClient:
         target: str,
         apps: bool = False,
         workers: Optional[int] = None,
+        mode: str = "simulated",
+        kernel: str = "",
         request_id: Optional[str] = None,
     ) -> ServeResponse:
-        """Regenerate the ``target`` figure/table study."""
+        """Regenerate the ``target`` figure/table study.
+
+        ``kernel`` restricts a kernel study to one suite name or
+        registered ``kernel:<hash>`` reference.
+        """
         return self.post(
-            "sweep", SweepRequest(target, apps, workers).to_dict(), request_id
+            "sweep",
+            SweepRequest(target, apps, workers, mode, kernel).to_dict(),
+            request_id,
         )
+
+    def register_kernel(
+        self,
+        document: Dict[str, Any],
+        request_id: Optional[str] = None,
+    ) -> ServeResponse:
+        """Register one kernel document (``POST /v1/kernels``)."""
+        return self.post(
+            "kernels", RegisterKernelRequest(document).to_dict(), request_id
+        )
+
+    def list_kernels(self) -> ServeResponse:
+        """List registered-kernel summaries (``GET /v1/kernels``)."""
+        return self.request("GET", "/v1/kernels")
+
+    def get_kernel(self, ref: str) -> ServeResponse:
+        """Fetch one registered kernel's summary and document."""
+        return self.request("GET", f"/v1/kernels/{ref}")
 
     def stats(self) -> ServeResponse:
         """Fetch the daemon's cache/queue/dedup counters."""

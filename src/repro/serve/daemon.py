@@ -12,6 +12,12 @@ answers every :mod:`repro.api` request kind over a tiny JSON protocol:
 * ``POST /v1/compile`` — :class:`repro.api.CompileRequest`
 * ``POST /v1/simulate`` — :class:`repro.api.SimulateRequest`
 * ``POST /v1/sweep`` — :class:`repro.api.SweepRequest`
+* ``POST /v1/kernels`` — :class:`repro.api.RegisterKernelRequest`
+  (register a user kernel document; idempotent by content hash)
+* ``GET  /v1/kernels`` — registered-kernel summaries
+* ``GET  /v1/kernels/{id}`` — one kernel's summary plus its canonical
+  document (``{id}`` is the ``kernel:<hash>`` ref, the bare hash, or a
+  unique prefix of at least 8 hex characters)
 * ``GET  /v1/cluster/stats`` — fleet membership and shard statistics
 * ``POST /v1/cluster/register`` / ``/v1/cluster/heartbeat`` — worker
   liveness protocol (see :mod:`repro.cluster`)
@@ -566,6 +572,27 @@ class ReproServer:
                 except ApiError as exc:
                     return self._error(path, 400, "bad_request", str(exc))
                 return (200, build_envelope("cluster", data=ack))
+            if path == "/v1/kernels" and method == "GET":
+                # Listing shares the POST path's URL; it must be
+                # answered before the REQUEST_KINDS fall-through or a
+                # bare GET would bounce off the 405 there.
+                from ..frontend.registry import default_registry
+
+                return (
+                    200,
+                    build_envelope(
+                        "kernels",
+                        data={"kernels": default_registry().list()},
+                    ),
+                )
+            if path.startswith("/v1/kernels/"):
+                if method != "GET":
+                    return self._error(
+                        path, 405, "method_not_allowed", "use GET"
+                    )
+                return self._handle_kernel_lookup(
+                    path, path[len("/v1/kernels/"):]
+                )
             if path.startswith("/v1/"):
                 kind = path[len("/v1/"):]
                 if kind in REQUEST_KINDS:
@@ -581,6 +608,28 @@ class ReproServer:
             return self._error(
                 path, 500, "internal", f"{type(exc).__name__}: {exc}"
             )
+
+    def _handle_kernel_lookup(
+        self, path: str, ref: str
+    ) -> Tuple[int, Dict[str, Any]]:
+        """``GET /v1/kernels/{id}``: summary plus canonical document."""
+        from ..frontend.registry import (
+            KERNEL_REF_PREFIX,
+            default_registry,
+            summarize,
+        )
+
+        registry = default_registry()
+        if not ref.startswith(KERNEL_REF_PREFIX):
+            ref = KERNEL_REF_PREFIX + ref
+        try:
+            entry = registry.resolve(ref)
+        except KeyError as exc:
+            return self._error(path, 404, "not_found", str(exc))
+        document = entry.document
+        data = dict(summarize(entry.kernel_id, document))
+        data["document"] = document
+        return (200, build_envelope("kernel", data=data))
 
     def _error(
         self, path: str, status: int, code: str, message: str

@@ -111,7 +111,9 @@ class TestStrictParsing:
             request_from_dict("frobnicate", {})
 
     def test_request_kinds_cover_every_runner(self):
-        assert set(REQUEST_KINDS) == {"costs", "compile", "simulate", "sweep"}
+        assert set(REQUEST_KINDS) == {
+            "costs", "compile", "simulate", "sweep", "kernels"
+        }
 
 
 class TestRunners:
@@ -170,10 +172,12 @@ class TestRunners:
         with pytest.raises(ApiError, match="not an API request"):
             execute("costs")  # type: ignore[arg-type]
 
-    def test_api_version_is_three(self):
+    def test_api_version_is_four(self):
         # 2: requests grew the ``mode`` field.  3: SimulateResult grew
         # the raw busy-cycle fields cluster workers ship back.
-        assert API_VERSION == 3
+        # 4: kernel registration (RegisterKernelRequest/KernelRef) and
+        # SweepRequest.kernel.
+        assert API_VERSION == 4
 
 
 class TestExecutionModes:
