@@ -38,12 +38,16 @@ from typing import Any, Dict, Optional, Tuple, Type, Union
 
 __all__ = [
     "API_VERSION",
+    "JOB_STATES",
     "SWEEP_MODES",
     "ApiError",
     "CompileRequest",
     "CompileResult",
     "CostQuery",
     "CostResult",
+    "JobRequest",
+    "JobResult",
+    "JobStatus",
     "KernelRef",
     "REQUEST_KINDS",
     "RegisterKernelRequest",
@@ -66,7 +70,12 @@ __all__ = [
 #: changes meaning.  v4 added registered kernels: the ``kernels``
 #: request kind (RegisterKernelRequest -> KernelRef), ``kernel:<hash>``
 #: references in compile/simulate requests, and SweepRequest.kernel.
-API_VERSION = 4
+#: v5 added the async job surface (JobRequest/JobStatus/JobResult,
+#: ``/v1/jobs``), made ``/v1/sweeps`` the canonical sweep route (the
+#: singular alias answers with a ``Deprecation`` header for one
+#: version), and gave every error envelope an optional RFC 6901
+#: ``pointer`` alongside its stable ``code``.
+API_VERSION = 5
 
 #: Sweep targets :func:`run_sweep` understands.
 SWEEP_TARGETS = ("fig13", "fig14", "table5", "fig15", "headline")
@@ -475,7 +484,97 @@ class KernelRef(_Payload):
     output_streams: Tuple[str, ...] = ()
 
 
+# --- async jobs ---------------------------------------------------------
+
+
+#: The job state machine, in lifecycle order.  ``queued -> running``
+#: then exactly one of the three terminal states.  A daemon restart
+#: moves ``running`` back to ``queued`` (the work resumes from the
+#: sweep checkpoint, so replayed points are memo hits).
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+
+@dataclass(frozen=True)
+class JobRequest(_Payload):
+    """An async sweep submission (``POST /v1/jobs``).
+
+    Wraps a full :class:`SweepRequest` payload rather than flattening
+    its fields so the job surface never chases sweep-shape changes:
+    whatever ``/v1/sweeps`` accepts synchronously, ``/v1/jobs`` accepts
+    asynchronously.
+    """
+
+    #: A :class:`SweepRequest` payload, verbatim.
+    sweep: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        _require(
+            isinstance(self.sweep, dict) and bool(self.sweep),
+            "JobRequest: sweep must be a non-empty JSON object "
+            "(a SweepRequest payload)",
+        )
+        self.sweep_request().validate()
+
+    def sweep_request(self) -> "SweepRequest":
+        """The wrapped sweep, parsed strictly."""
+        return SweepRequest.from_dict(self.sweep)  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class JobStatus(_Payload):
+    """One job's position in the state machine (``GET /v1/jobs/{id}``).
+
+    Deterministic job facts only — queue-wait and run-time live in the
+    envelope ``meta`` (volatile wall-clock stays out of ``data``).
+    """
+
+    job_id: str = ""
+    state: str = "queued"
+    tenant: str = ""
+    target: str = ""
+    mode: str = "simulated"
+    kernel: str = ""
+    points_total: int = 0
+    points_done: int = 0
+    error: str = ""
+
+    def validate(self) -> None:
+        _require(bool(self.job_id), "JobStatus: job_id is required")
+        _require(
+            self.state in JOB_STATES,
+            f"JobStatus: unknown state {self.state!r}; "
+            f"allowed states: {', '.join(JOB_STATES)}",
+        )
+
+    @property
+    def terminal(self) -> bool:
+        """True once the job can never change state again."""
+        return self.state in ("done", "failed", "cancelled")
+
+
+@dataclass(frozen=True)
+class JobResult(_Payload):
+    """A finished job's payload (``GET /v1/jobs/{id}/result``).
+
+    ``result`` is the :class:`SweepResult` dictionary exactly as the
+    synchronous ``/v1/sweeps`` route would have returned it — the
+    byte-identity contract the job tests pin.
+    """
+
+    job_id: str = ""
+    state: str = "done"
+    #: The :class:`SweepResult` payload (empty until ``state == done``).
+    result: Dict[str, Any] = field(default_factory=dict)
+
+    def sweep_result(self) -> "SweepResult":
+        """The wrapped sweep result, parsed strictly."""
+        return SweepResult.from_dict(self.result)  # type: ignore[return-value]
+
+
 #: Request-kind names, as the serving endpoints and envelopes spell them.
+#: Jobs are deliberately absent: job submissions bypass the
+#: micro-batcher (admission control runs ahead of 429/503 backpressure)
+#: and are handled by :mod:`repro.serve.jobs`.
 REQUEST_KINDS: Dict[str, Type[_Payload]] = {
     "costs": CostQuery,
     "compile": CompileRequest,

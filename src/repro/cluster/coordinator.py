@@ -59,7 +59,11 @@ from ..resilience.faults import fault_point
 from ..resilience.requeue import RequeueLadder
 from .membership import ClusterMembership
 
-__all__ = ["ClusterCoordinator", "expand_sweep_points"]
+__all__ = [
+    "ClusterCoordinator",
+    "compute_point_locally",
+    "expand_sweep_points",
+]
 
 #: URL path segment for each point request type.
 _POINT_KINDS = {CompileRequest: "compile", SimulateRequest: "simulate"}
@@ -146,6 +150,36 @@ def expand_sweep_points(request: SweepRequest) -> List[AnyRequest]:
             seen.add(key)
             unique.append(point)
     return unique
+
+
+def compute_point_locally(point: AnyRequest) -> None:
+    """Fill the local engine memo (and sweep checkpoint) for one point.
+
+    The exact code path a single-node sweep takes — `engine.kernel_rate`
+    / `engine.simulate_application` memoize *and* checkpoint, so a
+    caller walking a sweep's points one at a time (the cluster's serial
+    fallback, the job runner) leaves the final assembly all memo hits
+    and the checkpoint resumable after a crash.
+    """
+    from ..analysis.sweep import default_engine
+    from ..core.config import ProcessorConfig
+    from ..core.params import TECH_45NM
+
+    engine = default_engine()
+    if isinstance(point, CompileRequest):
+        engine.kernel_rate(
+            point.kernel,
+            ProcessorConfig(point.clusters, point.alus),
+            "simulated",
+        )
+    else:
+        engine.simulate_application(
+            point.application,
+            ProcessorConfig(point.clusters, point.alus),
+            TECH_45NM,
+            point.clock_ghz,
+            point.mode,
+        )
 
 
 def _simulation_from_payload(payload: SimulateResult):
@@ -537,25 +571,7 @@ class ClusterCoordinator:
     def _compute_locally(self, point: AnyRequest) -> None:
         """Serial fallback: fill the memo through the engine primitives
         (the exact code path a single-node sweep takes)."""
-        from ..analysis.sweep import default_engine
-        from ..core.config import ProcessorConfig
-        from ..core.params import TECH_45NM
-
-        engine = default_engine()
-        if isinstance(point, CompileRequest):
-            engine.kernel_rate(
-                point.kernel,
-                ProcessorConfig(point.clusters, point.alus),
-                "simulated",
-            )
-        else:
-            engine.simulate_application(
-                point.application,
-                ProcessorConfig(point.clusters, point.alus),
-                TECH_45NM,
-                point.clock_ghz,
-                point.mode,
-            )
+        compute_point_locally(point)
         self._count("cluster.points_local")
 
     def _sharded_sweep(self, request: SweepRequest) -> AnyResult:

@@ -49,7 +49,9 @@ __all__ = [
 
 #: Bumped whenever a report field is added, removed, or changes meaning.
 #: v2: added ``cluster_workers`` (fleet size behind the target daemon).
-SLO_VERSION = 2
+#: v3: added the ``jobs`` driving mode (``--jobs``) and its
+#: server-reported queue-wait percentiles (``jobs`` report section).
+SLO_VERSION = 3
 
 #: Default request mix (weights in the round-robin schedule).
 DEFAULT_MIX = "costs=6,compile=2,simulate=1"
@@ -67,6 +69,13 @@ _SIMULATE_POINTS: Sequence[Tuple[str, int, int]] = (
     ("fft1k", 8, 5), ("depth", 8, 5),
 )
 _SWEEP_POINTS: Sequence[str] = ("table5",)
+#: Async-job cycle: analytical-mode sweeps restricted to one kernel are
+#: milliseconds of model evaluation each, so a short loadgen window
+#: exercises the whole submit → queue → run → result lifecycle many
+#: times without paying simulator wall clock.
+_JOB_POINTS: Sequence[Tuple[str, str]] = (
+    ("fig13", "fft"), ("fig14", "dct"), ("table5", "convolve"),
+)
 
 
 def parse_mix(spec: str) -> Dict[str, int]:
@@ -114,6 +123,12 @@ class LoadgenConfig:
     #: report so cluster and single-node trajectories never alias.
     #: ``None`` auto-detects via ``GET /v1/cluster/stats``.
     cluster_workers: Optional[int] = None
+    #: Drive the async job surface (``POST /v1/jobs`` + poll) instead of
+    #: the synchronous mix; the report then carries the daemon-reported
+    #: queue-wait percentiles alongside end-to-end job latency.
+    jobs: bool = False
+    #: API key sent as ``X-Api-Key`` (multi-tenant daemons).
+    api_key: Optional[str] = None
 
 
 class _EndpointStats:
@@ -196,6 +211,120 @@ def _issue(client: Any, kind: str, index: int) -> Any:
     raise ValueError(f"unknown request kind {kind!r}")
 
 
+def _run_jobs_loadgen(
+    config: LoadgenConfig, cluster_workers: int
+) -> Dict[str, Any]:
+    """Closed-loop driver for the async job surface.
+
+    Each worker submits an analytical job, polls it to a terminal
+    state, and records the end-to-end submit→done latency.  The
+    daemon's own ``queue_wait_ms`` (envelope ``meta``) is collected
+    separately so the report distinguishes admission delay from
+    execution time — client-side polling cadence cannot measure that.
+    """
+    from ..serve.client import ServeClient
+
+    stat = _EndpointStats("jobs")
+    queue_wait = Histogram("loadgen.jobs_queue_wait_seconds")
+    wait_lock = threading.Lock()
+    op_counter = itertools.count()
+    deadline_holder = [0.0]
+
+    def _worker() -> None:
+        client = ServeClient(config.host, config.port,
+                             timeout=config.request_timeout_s,
+                             backpressure_retries=0,
+                             api_key=config.api_key)
+        try:
+            while time.perf_counter() < deadline_holder[0]:
+                index = next(op_counter)
+                target, kernel = _JOB_POINTS[index % len(_JOB_POINTS)]
+                started = time.perf_counter()
+                try:
+                    submitted = client.submit_job(
+                        target, mode="analytical", kernel=kernel
+                    )
+                    if submitted.status != 202:
+                        stat.record(
+                            time.perf_counter() - started, submitted.status
+                        )
+                        continue
+                    job_id = (submitted.data or {}).get("job_id", "")
+                    final = client.wait_job(
+                        job_id,
+                        timeout_s=config.request_timeout_s,
+                        poll_s=0.02,
+                    )
+                except (ConnectionError, OSError):
+                    client.close()
+                    stat.errors += 1
+                    continue
+                state = (final.data or {}).get("state")
+                stat.record(
+                    time.perf_counter() - started,
+                    200 if state == "done" else 500,
+                )
+                meta = final.payload.get("meta") or {}
+                wait_ms = meta.get("queue_wait_ms")
+                if isinstance(wait_ms, (int, float)):
+                    with wait_lock:
+                        queue_wait.observe(wait_ms / 1000.0)
+        finally:
+            client.close()
+
+    started_wall = time.perf_counter()
+    deadline_holder[0] = started_wall + config.duration_s
+    workers: List[threading.Thread] = []
+    for _ in range(max(1, config.concurrency)):
+        thread = threading.Thread(target=_worker, daemon=True)
+        thread.start()
+        workers.append(thread)
+    for thread in workers:
+        thread.join(config.duration_s + 2.0 * config.request_timeout_s)
+    elapsed = time.perf_counter() - started_wall
+
+    hist = stat.histogram
+    total = hist.count + stat.errors + stat.backpressure
+    jobs_section: Dict[str, Any] = {"queue_wait_samples": queue_wait.count}
+    if queue_wait.count:
+        jobs_section.update(
+            {
+                "queue_wait_p50_ms": round(queue_wait.p50 * 1000.0, 3),
+                "queue_wait_p99_ms": round(queue_wait.p99 * 1000.0, 3),
+                "queue_wait_max_ms": round(
+                    (queue_wait.max or 0.0) * 1000.0, 3
+                ),
+            }
+        )
+    return {
+        "slo_version": SLO_VERSION,
+        "mode": "jobs",
+        "duration_s": round(elapsed, 3),
+        "concurrency": max(1, config.concurrency),
+        "mix": {"jobs": 1},
+        "cluster_workers": cluster_workers,
+        "endpoints": {"jobs": stat.report()},
+        "jobs": jobs_section,
+        "overall": {
+            "requests": total,
+            "ok": hist.count,
+            "errors": stat.errors,
+            "backpressure": stat.backpressure,
+            "error_rate": round(stat.errors / total, 6) if total else 0.0,
+            "backpressure_rate": round(stat.backpressure / total, 6)
+            if total else 0.0,
+            "throughput_rps": round(hist.count / elapsed, 3)
+            if elapsed > 0 else 0.0,
+            "p50_ms": round(hist.p50 * 1000.0, 3) if hist.count else None,
+            "p99_ms": round(hist.p99 * 1000.0, 3) if hist.count else None,
+        },
+        # The job loop is closed by construction (submit-then-poll), so
+        # achieved completion rate is the saturation estimate.
+        "saturation_rps": round(hist.count / elapsed, 3)
+        if elapsed > 0 else None,
+    }
+
+
 def run_loadgen(config: LoadgenConfig) -> Dict[str, Any]:
     """Drive the daemon for ``config.duration_s``; returns the SLO
     report (the ``data`` of the loadgen envelope).
@@ -218,7 +347,8 @@ def run_loadgen(config: LoadgenConfig) -> Dict[str, Any]:
     # 429/503 *are* the measurement here, not an inconvenience.
     probe = ServeClient(config.host, config.port,
                         timeout=config.request_timeout_s,
-                        backpressure_retries=0)
+                        backpressure_retries=0,
+                        api_key=config.api_key)
     cluster_workers = config.cluster_workers
     try:
         probe.health()
@@ -230,6 +360,9 @@ def run_loadgen(config: LoadgenConfig) -> Dict[str, Any]:
             )
     finally:
         probe.close()
+
+    if config.jobs:
+        return _run_jobs_loadgen(config, cluster_workers or 0)
 
     def _execute(client: Any, op_index: int) -> None:
         kind = schedule[op_index % len(schedule)]
@@ -247,7 +380,8 @@ def run_loadgen(config: LoadgenConfig) -> Dict[str, Any]:
     def _closed_worker() -> None:
         client = ServeClient(config.host, config.port,
                              timeout=config.request_timeout_s,
-                             backpressure_retries=0)
+                             backpressure_retries=0,
+                             api_key=config.api_key)
         try:
             while time.perf_counter() < deadline_holder[0] and \
                     not stop.is_set():
@@ -258,7 +392,8 @@ def run_loadgen(config: LoadgenConfig) -> Dict[str, Any]:
     def _open_worker(tickets: "queue.Queue") -> None:
         client = ServeClient(config.host, config.port,
                              timeout=config.request_timeout_s,
-                             backpressure_retries=0)
+                             backpressure_retries=0,
+                             api_key=config.api_key)
         try:
             while True:
                 ticket = tickets.get()
@@ -393,6 +528,10 @@ def slo_line(report: Dict[str, Any]) -> str:
         parts.append(f"saturation={saturation}rps")
     if report.get("cluster_workers"):
         parts.append(f"cluster={report['cluster_workers']}")
+    jobs = report.get("jobs")
+    if jobs and jobs.get("queue_wait_p50_ms") is not None:
+        parts.append(f"queue_wait_p50={jobs['queue_wait_p50_ms']}ms")
+        parts.append(f"queue_wait_p99={jobs['queue_wait_p99_ms']}ms")
     return "SLO: " + " ".join(parts)
 
 

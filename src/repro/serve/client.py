@@ -26,12 +26,18 @@ from typing import Any, Dict, Iterator, Optional, Tuple
 from ..api import (
     CompileRequest,
     CostQuery,
+    JobRequest,
     RegisterKernelRequest,
     SimulateRequest,
     SweepRequest,
 )
 
 __all__ = ["ServeClient", "ServeConnectionError", "ServeResponse"]
+
+#: Request kinds whose canonical route is spelled differently from the
+#: payload kind (API v5 made collection routes plural; the singular
+#: route still answers, with a ``Deprecation`` header).
+_CANONICAL_ROUTES = {"sweep": "sweeps"}
 
 
 class ServeConnectionError(ConnectionError):
@@ -40,19 +46,30 @@ class ServeConnectionError(ConnectionError):
 
 
 class ServeResponse:
-    """One daemon reply: HTTP status, headers, decoded JSON payload."""
+    """One daemon reply: HTTP status, headers, decoded JSON payload.
+
+    ``text`` carries the raw body for non-JSON responses (Prometheus
+    exposition); ``payload`` is then ``{}``.
+    """
 
     def __init__(
-        self, status: int, headers: Dict[str, str], payload: Dict[str, Any]
+        self,
+        status: int,
+        headers: Dict[str, str],
+        payload: Dict[str, Any],
+        text: str = "",
     ):
         self.status = status
         self.headers = headers
         self.payload = payload
+        self.text = text
 
     @property
     def ok(self) -> bool:
-        """True for a 200 with an ``ok`` envelope."""
-        return self.status == 200 and bool(self.payload.get("ok", True))
+        """True for a 200/202 with an ``ok`` envelope."""
+        return self.status in (200, 202) and bool(
+            self.payload.get("ok", True)
+        )
 
     @property
     def data(self) -> Optional[Dict[str, Any]]:
@@ -97,12 +114,15 @@ class ServeClient:
         timeout: float = 120.0,
         backpressure_retries: int = 4,
         max_retry_after_s: float = 5.0,
+        api_key: Optional[str] = None,
     ):
         self.host = host
         self.port = port
         self.timeout = timeout
         self.backpressure_retries = backpressure_retries
         self.max_retry_after_s = max_retry_after_s
+        #: Sent as ``X-Api-Key`` on every request (multi-tenant mode).
+        self.api_key = api_key
         #: How many backpressure sleeps this client has taken (tests
         #: and load reports read this).
         self.backpressure_waits = 0
@@ -179,6 +199,8 @@ class ServeClient:
             headers["Content-Type"] = "application/json"
         if request_id is not None:
             headers["X-Request-Id"] = request_id
+        if self.api_key is not None:
+            headers["X-Api-Key"] = self.api_key
         for attempt in (0, 1):
             conn = self._connection()
             try:
@@ -189,9 +211,18 @@ class ServeClient:
                     name.lower(): value
                     for name, value in response.getheaders()
                 }
-                decoded = json.loads(raw.decode("utf-8")) if raw else {}
+                content_type = response_headers.get("content-type", "")
+                if raw and "application/json" in content_type:
+                    return ServeResponse(
+                        response.status,
+                        response_headers,
+                        json.loads(raw.decode("utf-8")),
+                    )
                 return ServeResponse(
-                    response.status, response_headers, decoded
+                    response.status,
+                    response_headers,
+                    {},
+                    text=raw.decode("utf-8") if raw else "",
                 )
             except ConnectionRefusedError as exc:
                 self.close()
@@ -212,8 +243,9 @@ class ServeClient:
         body: Dict[str, Any],
         request_id: Optional[str] = None,
     ) -> ServeResponse:
-        """POST one API request body to ``/v1/<kind>``."""
-        return self.request("POST", f"/v1/{kind}", body, request_id)
+        """POST one API request body to its canonical ``/v1/`` route."""
+        route = _CANONICAL_ROUTES.get(kind, kind)
+        return self.request("POST", f"/v1/{route}", body, request_id)
 
     # --- typed helpers --------------------------------------------------
 
@@ -312,17 +344,81 @@ class ServeClient:
 
     def prometheus_metrics(self) -> str:
         """Fetch ``GET /metrics`` as raw Prometheus exposition text."""
-        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
-        try:
-            conn.request("GET", "/metrics")
-            response = conn.getresponse()
-            return response.read().decode("utf-8")
-        finally:
-            conn.close()
+        return self.request("GET", "/metrics").text
 
     def health(self) -> ServeResponse:
         """Liveness probe (``/healthz``)."""
         return self.request("GET", "/healthz")
+
+    # --- async jobs -----------------------------------------------------
+
+    def submit_job(
+        self,
+        target: str,
+        apps: bool = False,
+        workers: Optional[int] = None,
+        mode: str = "simulated",
+        kernel: str = "",
+        request_id: Optional[str] = None,
+    ) -> ServeResponse:
+        """Submit ``target`` as an async job (``POST /v1/jobs``, 202).
+
+        The ``data`` payload is the job's initial :class:`JobStatus`;
+        poll :meth:`job_status` or stream :meth:`job_events` with its
+        ``job_id``.
+        """
+        sweep = SweepRequest(target, apps, workers, mode, kernel)
+        return self.request(
+            "POST",
+            "/v1/jobs",
+            JobRequest(sweep=sweep.to_dict()).to_dict(),
+            request_id,
+        )
+
+    def job_status(self, job_id: str) -> ServeResponse:
+        """Poll one job's state (``GET /v1/jobs/{id}``)."""
+        return self.request("GET", f"/v1/jobs/{job_id}")
+
+    def job_result(self, job_id: str) -> ServeResponse:
+        """Fetch a done job's rows (``GET /v1/jobs/{id}/result``)."""
+        return self.request("GET", f"/v1/jobs/{job_id}/result")
+
+    def list_jobs(self) -> ServeResponse:
+        """List this tenant's jobs (``GET /v1/jobs``)."""
+        return self.request("GET", "/v1/jobs")
+
+    def cancel_job(self, job_id: str) -> ServeResponse:
+        """Request cancellation (``POST /v1/jobs/{id}/cancel``)."""
+        return self.request("POST", f"/v1/jobs/{job_id}/cancel", {})
+
+    def wait_job(
+        self,
+        job_id: str,
+        timeout_s: float = 600.0,
+        poll_s: float = 0.2,
+    ) -> ServeResponse:
+        """Poll until the job reaches a terminal state (or timeout);
+        returns the last status response either way."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            response = self.job_status(job_id)
+            state = (response.data or {}).get("state")
+            if (
+                not response.ok
+                or state in ("done", "failed", "cancelled")
+                or time.monotonic() >= deadline
+            ):
+                return response
+            time.sleep(poll_s)
+
+    def job_events(
+        self,
+        job_id: str,
+        max_s: float = 600.0,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield one job's lifecycle/point events as they land
+        (``GET /v1/jobs/{id}/events``); ends at ``job_end``."""
+        return self._stream(f"/v1/jobs/{job_id}/events?max_s={max_s}", max_s)
 
     # --- progress streaming ---------------------------------------------
 
@@ -333,18 +429,28 @@ class ServeClient:
     ) -> Iterator[Dict[str, Any]]:
         """Yield progress events from ``GET /v1/progress`` as they land.
 
-        Runs on a dedicated connection (the stream is close-delimited,
-        so it cannot share the keep-alive one).  Filtered to
-        ``request_id`` when given; ends at server deadline, on the
-        watched request's ``request_end`` event, or when the generator
-        is closed.
+        Filtered to ``request_id`` when given; ends at server deadline,
+        on the watched request's ``request_end`` event, or when the
+        generator is closed.
         """
         query = f"max_s={max_s}"
         if request_id is not None:
             query = f"request_id={request_id}&{query}"
+        return self._stream(f"/v1/progress?{query}", max_s)
+
+    def _stream(self, path: str, max_s: float) -> Iterator[Dict[str, Any]]:
+        """Consume one SSE-style endpoint as decoded ``data:`` events.
+
+        Runs on a dedicated connection (the stream is close-delimited,
+        so it cannot share the keep-alive one); the API key rides along
+        so tenant-scoped streams authenticate.
+        """
+        headers: Dict[str, str] = {}
+        if self.api_key is not None:
+            headers["X-Api-Key"] = self.api_key
         conn = HTTPConnection(self.host, self.port, timeout=max_s + 30.0)
         try:
-            conn.request("GET", f"/v1/progress?{query}")
+            conn.request("GET", path, headers=headers)
             response = conn.getresponse()
             while True:
                 line = response.readline()

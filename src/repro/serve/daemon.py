@@ -76,11 +76,13 @@ import json
 import time
 from collections import deque
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
 from urllib.parse import parse_qs, urlsplit
 
 from ..api import (
     ApiError,
+    JobRequest,
     REQUEST_KINDS,
     dedup_key,
     execute,
@@ -100,15 +102,21 @@ from ..obs.progress import default_bus
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..resilience.executor import ResilientExecutor
 from .batching import MicroBatcher, QueueFull
+from .jobs import JobManager, JobStore, count_sweep_points
+from .tenancy import TenantRegistry
 
-__all__ = ["ReproServer", "ServerConfig", "run_server"]
+__all__ = ["ERROR_CODES", "ReproServer", "ServerConfig", "run_server"]
 
 #: HTTP reason phrases for the statuses the daemon emits.
 _REASONS = {
     200: "OK",
+    202: "Accepted",
     400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
@@ -116,8 +124,39 @@ _REASONS = {
     504: "Gateway Timeout",
 }
 
-#: Error codes (envelope ``error.code``) to HTTP statuses.
+#: The stable error-code registry (the frontend's ``E_*`` pattern,
+#: serving flavor).  Every error response is the typed envelope
+#: ``{code, message, pointer?}``: ``code`` is drawn from this table
+#: and never renamed within an API version, ``message`` is
+#: human-readable and free to change, and ``pointer`` (RFC 6901,
+#: optional) locates the offending field of the request body.
+ERROR_CODES = {
+    "bad_request": "malformed JSON, unknown field, or unknown name",
+    "unauthorized": "a valid X-Api-Key is required on this route",
+    "forbidden": "the API key does not grant access to this resource",
+    "not_found": "no such route, kernel, or job",
+    "method_not_allowed": "the route exists but not for this verb",
+    "conflict": "the operation is invalid in the resource's state",
+    "payload_too_large": "request body exceeds the configured limit",
+    "queue_full": "admission queue at capacity; honor Retry-After",
+    "rate_limited": "tenant token bucket empty; honor Retry-After",
+    "quota_exceeded": "tenant point quota cannot cover this job",
+    "internal": "unexpected server-side failure",
+    "draining": "server is shutting down; retry against a peer",
+    "timeout": "request exceeded the server-side deadline",
+}
+
+#: Executor-outcome error codes to HTTP statuses.
 _ERROR_STATUS = {"bad_request": 400, "internal": 500}
+
+#: Old route to canonical successor: still answered, with a
+#: ``Deprecation`` header and a ``Link rel="successor-version"``, for
+#: one API version (v5 deprecates, v6 removes).
+_DEPRECATED_ROUTES = {"/v1/sweep": "/v1/sweeps"}
+
+#: Canonical-route path segments to request-kind names (the payload
+#: kinds keep their singular envelope spelling).
+_ROUTE_ALIASES = {"sweeps": "sweep"}
 
 
 @dataclass(frozen=True)
@@ -149,6 +188,15 @@ class ServerConfig:
     join: Optional[str] = None
     heartbeat_interval_s: float = 2.0
     heartbeat_timeout_s: float = 6.0
+    #: Multi-tenancy: a ``{"tenants": [...]}`` JSON file of API keys,
+    #: weights, rate limits, and point quotas.  ``None`` runs open
+    #: (every caller is the unlimited anonymous ``public`` tenant).
+    tenants_path: Optional[str] = None
+    #: Persist job records here so jobs survive daemon restarts.
+    #: ``None`` keeps the job table in memory only (the CLI defaults
+    #: this next to the sweep checkpoints; in-process test servers
+    #: stay memory-only).
+    job_dir: Optional[str] = None
 
 
 def _safe_execute(item: Tuple[Optional[str], Any]) -> Tuple[str, Any]:
@@ -225,8 +273,29 @@ class ReproServer:
         self._heartbeat_agent = None
         # Recently finished request ids, so a /v1/progress subscriber
         # that connects after its request completed gets an immediate
-        # request_end instead of hanging until its deadline.
-        self._finished: Deque[Tuple[str, int]] = deque(maxlen=256)
+        # request_end instead of hanging until its deadline.  Entries
+        # are (request_id, tenant, status): replay is namespaced by
+        # tenant so one tenant cannot read another's progress events.
+        self._finished: Deque[Tuple[str, str, int]] = deque(maxlen=256)
+        #: In-flight request id -> owning tenant (live-stream isolation).
+        self._active: Dict[str, str] = {}
+        # Multi-tenant admission + the async job layer.  Admission
+        # (auth -> rate limit -> quota -> fair-share enqueue) runs
+        # inline at POST /v1/jobs, ahead of the batcher's 429/503.
+        self.tenants = (
+            TenantRegistry.load(Path(config.tenants_path))
+            if config.tenants_path
+            else TenantRegistry()
+        )
+        self.jobs = JobManager(
+            store=JobStore(
+                Path(config.job_dir) if config.job_dir else None
+            ),
+            registry=self.tenants,
+            metrics=self.metrics,
+            bus=self._bus,
+            coordinator=self.coordinator,
+        )
 
     # --- execution ------------------------------------------------------
 
@@ -266,6 +335,9 @@ class ReproServer:
         self._server = await asyncio.start_server(
             self._handle_client, self.config.host, self.config.port
         )
+        # Persisted jobs from a previous process re-queue here; their
+        # points resume as memo hits off the sweep checkpoint.
+        self.jobs.start()
         if self.config.fleet > 0:
             from ..cluster import LocalFleet
 
@@ -318,6 +390,10 @@ class ReproServer:
         self.draining = True
         if self._heartbeat_agent is not None:
             self._heartbeat_agent.stop()
+        # Jobs stop after their in-flight point; interrupted jobs stay
+        # queued/running on disk and resume on the next boot — drain
+        # must not wait out a multi-minute sweep.
+        self.jobs.stop()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -362,6 +438,8 @@ class ReproServer:
             "compile_cache": {**cache.stats(), "hit_rate": cache.hit_rate},
             "compile_memo_entries": memo_size(),
             "cluster": self.coordinator.stats(),
+            "jobs": self.jobs.stats(),
+            "tenants": self.tenants.stats(),
         }
 
     # --- HTTP plumbing --------------------------------------------------
@@ -382,21 +460,50 @@ class ReproServer:
                     if request_id
                     else new_request_id()
                 )
-                if path.split("?", 1)[0] == "/v1/progress":
+                api_key = headers.get("x-api-key", "").strip() or None
+                tenant = self.tenants.resolve(api_key)
+                base_path = path.split("?", 1)[0]
+                if base_path == "/v1/progress":
                     # Streaming endpoint: writes its own response and
                     # always closes the connection afterwards.
-                    await self._handle_progress(writer, method, path)
+                    await self._handle_progress(
+                        writer, method, path, tenant.name
+                    )
+                    break
+                if (
+                    base_path.startswith("/v1/jobs/")
+                    and base_path.endswith("/events")
+                ):
+                    await self._handle_job_events(
+                        writer, method, path, api_key
+                    )
                     break
                 started = time.perf_counter()
-                with bind_request_id(request_id):
-                    status, payload = await self._route(method, path, body)
-                self._observe(method, path, status, started, request_id)
+                self._active[request_id] = tenant.name
+                try:
+                    with bind_request_id(request_id):
+                        status, payload = await self._route(
+                            method, path, body, api_key
+                        )
+                finally:
+                    self._active.pop(request_id, None)
+                self._observe(
+                    method, path, status, started, request_id,
+                    tenant=tenant.name,
+                )
                 keep_alive = (
                     headers.get("connection", "").lower() != "close"
                 )
+                extra_headers = [f"X-Request-Id: {request_id}"]
+                successor = _DEPRECATED_ROUTES.get(base_path)
+                if successor is not None:
+                    extra_headers.append("Deprecation: true")
+                    extra_headers.append(
+                        f'Link: <{successor}>; rel="successor-version"'
+                    )
                 await self._write_response(
                     writer, status, payload, keep_alive,
-                    extra_headers=[f"X-Request-Id: {request_id}"],
+                    extra_headers=extra_headers,
                 )
                 if not keep_alive:
                     break
@@ -451,6 +558,7 @@ class ReproServer:
         status: int,
         started: float,
         request_id: Optional[str] = None,
+        tenant: str = "public",
     ) -> None:
         endpoint = path.rsplit("/", 1)[-1] or "root"
         self.metrics.counter(f"serve.requests.{endpoint}").inc()
@@ -484,8 +592,9 @@ class ReproServer:
             duration_ms=round(elapsed * 1000.0, 3),
         )
         kind = path[len("/v1/"):] if path.startswith("/v1/") else None
+        kind = _ROUTE_ALIASES.get(kind, kind)
         if kind in REQUEST_KINDS and request_id is not None:
-            self._finished.append((request_id, status))
+            self._finished.append((request_id, tenant, status))
             self._bus.publish(
                 "request_end",
                 request_id=request_id, kind=kind, status=status,
@@ -494,7 +603,11 @@ class ReproServer:
     # --- routing --------------------------------------------------------
 
     async def _route(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        api_key: Optional[str] = None,
     ) -> Tuple[int, Union[Dict[str, Any], str]]:
         """Dispatch one parsed request to its handler; never raises.
 
@@ -593,8 +706,19 @@ class ReproServer:
                 return self._handle_kernel_lookup(
                     path, path[len("/v1/kernels/"):]
                 )
+            if path == "/v1/jobs":
+                if method == "GET":
+                    return self._handle_job_list(api_key)
+                if method != "POST":
+                    return self._error(
+                        path, 405, "method_not_allowed", "use POST or GET"
+                    )
+                return self._handle_job_submit(body, api_key)
+            if path.startswith("/v1/jobs/"):
+                return self._handle_job_route(method, path, api_key)
             if path.startswith("/v1/"):
                 kind = path[len("/v1/"):]
+                kind = _ROUTE_ALIASES.get(kind, kind)
                 if kind in REQUEST_KINDS:
                     if method != "POST":
                         return self._error(
@@ -632,12 +756,170 @@ class ReproServer:
         return (200, build_envelope("kernel", data=data))
 
     def _error(
-        self, path: str, status: int, code: str, message: str
+        self,
+        path: str,
+        status: int,
+        code: str,
+        message: str,
+        pointer: str = "",
     ) -> Tuple[int, Dict[str, Any]]:
+        assert code in ERROR_CODES, f"unregistered error code {code!r}"
         kind = path.rsplit("/", 1)[-1] or "request"
+        error: Dict[str, Any] = {"code": code, "message": message}
+        if pointer:
+            error["pointer"] = pointer
+        return (status, build_envelope(kind, error=error))
+
+    # --- async jobs ------------------------------------------------------
+
+    def _job_auth(
+        self, path: str, api_key: Optional[str]
+    ) -> Tuple[Optional[Any], Optional[Tuple[int, Dict[str, Any]]]]:
+        """Strict auth for job routes: ``(tenant, None)`` or
+        ``(None, error_response)``."""
+        tenant, code = self.tenants.identify(api_key)
+        if tenant is None:
+            status = 401 if code == "unauthorized" else 403
+            self.metrics.counter(f"serve.jobs.rejected.{code}").inc()
+            return None, self._error(
+                path, status, code, ERROR_CODES[code]
+            )
+        return tenant, None
+
+    def _handle_job_submit(
+        self, body: bytes, api_key: Optional[str]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """``POST /v1/jobs``: auth -> rate limit -> quota -> fair-share
+        enqueue.  Answers 202 immediately; rejections carry the typed
+        error envelope and never touch the batcher queue."""
+        path = "/v1/jobs"
+        if self.draining:
+            return self._error(
+                path, 503, "draining", "server is draining; retry elsewhere"
+            )
+        tenant, denied = self._job_auth(path, api_key)
+        if denied is not None:
+            return denied
+        try:
+            data = json.loads(body.decode("utf-8")) if body else {}
+        except ValueError as exc:
+            return self._error(
+                path, 400, "bad_request", f"invalid JSON body ({exc})"
+            )
+        try:
+            request = JobRequest.from_dict(data)
+            request.validate()
+            sweep = request.sweep_request()
+            from ..api import validate_request
+
+            validate_request(sweep)
+            points = count_sweep_points(sweep)
+        except ApiError as exc:
+            return self._error(
+                path, 400, "bad_request", str(exc), pointer="/sweep"
+            )
+        decision = self.tenants.admit(tenant, points)
+        if not decision.ok:
+            status = 429 if decision.code == "rate_limited" else 403
+            self.metrics.counter(
+                f"serve.jobs.rejected.{decision.code}"
+            ).inc()
+            return self._error(
+                path, status, decision.code, decision.message,
+                pointer=decision.pointer,
+            )
+        record = self.jobs.submit(tenant, request, points)
         return (
-            status,
-            build_envelope(kind, error={"code": code, "message": message}),
+            202,
+            build_envelope(
+                "job", data=record.status().to_dict(),
+                meta={"points": points},
+            ),
+        )
+
+    def _handle_job_route(
+        self, method: str, path: str, api_key: Optional[str]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """``/v1/jobs/{id}``, ``/v1/jobs/{id}/result``,
+        ``/v1/jobs/{id}/cancel`` (events stream separately)."""
+        rest = path[len("/v1/jobs/"):]
+        job_id, _, action = rest.partition("/")
+        if action not in ("", "result", "cancel"):
+            return self._error(
+                path, 404, "not_found", f"no route for {path}"
+            )
+        tenant, denied = self._job_auth(path, api_key)
+        if denied is not None:
+            return denied
+        record = self.jobs.get(job_id)
+        if record is None or (
+            not self.tenants.open and record.tenant != tenant.name
+        ):
+            # A foreign tenant's job answers not_found, not forbidden:
+            # job ids are capabilities and existence is information.
+            return self._error(
+                path, 404, "not_found", f"no such job {job_id!r}"
+            )
+        if action == "cancel":
+            if method != "POST":
+                return self._error(
+                    path, 405, "method_not_allowed", "use POST"
+                )
+            ok, code = self.jobs.cancel(job_id)
+            if not ok and code == "conflict":
+                return self._error(
+                    path, 409, "conflict",
+                    f"job {job_id} already {record.state}",
+                )
+            return (
+                200,
+                build_envelope(
+                    "job", data=self.jobs.get(job_id).status().to_dict()
+                ),
+            )
+        if method != "GET":
+            return self._error(path, 405, "method_not_allowed", "use GET")
+        if action == "result":
+            from ..api import JobResult
+
+            if record.state != "done":
+                return self._error(
+                    path, 409, "conflict",
+                    f"job {job_id} is {record.state}, not done",
+                )
+            result = JobResult(
+                job_id=record.job_id,
+                state=record.state,
+                result=record.result or {},
+            )
+            return (
+                200,
+                build_envelope(
+                    "job_result", data=result.to_dict(), meta=record.meta()
+                ),
+            )
+        return (
+            200,
+            build_envelope(
+                "job", data=record.status().to_dict(), meta=record.meta()
+            ),
+        )
+
+    def _handle_job_list(
+        self, api_key: Optional[str]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """``GET /v1/jobs``: the calling tenant's jobs, oldest first."""
+        tenant, denied = self._job_auth("/v1/jobs", api_key)
+        if denied is not None:
+            return denied
+        scope = None if self.tenants.open else tenant.name
+        records = self.jobs.list(scope)
+        return (
+            200,
+            build_envelope(
+                "jobs",
+                data={"jobs": [r.status().to_dict() for r in records]},
+            ),
         )
 
     async def _handle_api(
@@ -733,7 +1015,11 @@ class ReproServer:
     # --- progress streaming ---------------------------------------------
 
     async def _handle_progress(
-        self, writer: asyncio.StreamWriter, method: str, path: str
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        tenant: str = "public",
     ) -> None:
         """Stream progress-bus events as SSE-style ``data:`` lines.
 
@@ -762,24 +1048,30 @@ class ReproServer:
                 keep_alive=False,
             )
             return
-        writer.write(
-            (
-                "HTTP/1.1 200 OK\r\n"
-                "Content-Type: text/event-stream\r\n"
-                "Cache-Control: no-cache\r\n"
-                "Connection: close\r\n\r\n"
-            ).encode("latin-1")
-        )
-        await writer.drain()
-        loop = asyncio.get_running_loop()
+        await self._start_event_stream(writer)
+        # A request in flight for (or finished by) another tenant is
+        # invisible here: the watched id's events belong to its owner.
+        if request_id is not None:
+            owner = self._active.get(request_id)
+            if owner is not None and owner != tenant:
+                await self._send_event(
+                    writer,
+                    {
+                        "event": "error",
+                        "code": "forbidden",
+                        "request_id": request_id,
+                    },
+                )
+                return
         subscription = self._bus.subscribe(request_id)
         self.metrics.counter("serve.progress.streams").inc()
         try:
             # A request that finished before this subscriber attached
-            # would never publish again; answer from the finished ring.
+            # would never publish again; answer from the finished ring
+            # — tenant-namespaced, so replay never leaks across keys.
             if request_id is not None:
-                for done_id, status in self._finished:
-                    if done_id == request_id:
+                for done_id, owner, status in self._finished:
+                    if done_id == request_id and owner == tenant:
                         await self._send_event(
                             writer,
                             {
@@ -790,29 +1082,123 @@ class ReproServer:
                             },
                         )
                         return
-            deadline = time.perf_counter() + max_s
+            await self._pump_events(
+                writer, subscription, max_s,
+                end_event="request_end" if request_id is not None else None,
+            )
+        except (ConnectionError, OSError):
+            pass  # client went away; unsubscribe below
+        finally:
+            subscription.close()
+
+    async def _start_event_stream(
+        self, writer: asyncio.StreamWriter
+    ) -> None:
+        writer.write(
+            (
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: text/event-stream\r\n"
+                "Cache-Control: no-cache\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+        )
+        await writer.drain()
+
+    async def _pump_events(
+        self,
+        writer: asyncio.StreamWriter,
+        subscription,
+        max_s: float,
+        end_event: Optional[str] = None,
+    ) -> None:
+        """Forward bus events until ``end_event``, ``max_s``, or
+        disconnect; shared by ``/v1/progress`` and job event streams."""
+        loop = asyncio.get_running_loop()
+        deadline = time.perf_counter() + max_s
+        idle_polls = 0
+        while time.perf_counter() < deadline:
+            event = await loop.run_in_executor(
+                None, subscription.get, 0.5
+            )
+            if event is None:
+                idle_polls += 1
+                if idle_polls >= 10:
+                    # Comment line per SSE: keeps half-open
+                    # connections detectable without fabricating
+                    # events.
+                    writer.write(b": keep-alive\n\n")
+                    await writer.drain()
+                    idle_polls = 0
+                continue
             idle_polls = 0
-            while time.perf_counter() < deadline:
-                event = await loop.run_in_executor(
-                    None, subscription.get, 0.5
+            await self._send_event(writer, event)
+            if end_event is not None and event.get("event") == end_event:
+                return
+
+    async def _handle_job_events(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        api_key: Optional[str],
+    ) -> None:
+        """``GET /v1/jobs/{id}/events``: the job's lifecycle and
+        per-point completion events as an SSE stream, ending at
+        ``job_end`` (terminal jobs replay it immediately)."""
+        base = urlsplit(path)
+        query = parse_qs(base.query)
+        try:
+            max_s = float((query.get("max_s") or ["600"])[0])
+        except ValueError:
+            max_s = 600.0
+        job_id = base.path[len("/v1/jobs/"):-len("/events")]
+        if method != "GET":
+            await self._write_response(
+                writer,
+                405,
+                self._error(path, 405, "method_not_allowed", "use GET")[1],
+                keep_alive=False,
+            )
+            return
+        tenant, denied = self._job_auth(base.path, api_key)
+        if tenant is None:
+            status, payload = denied
+            await self._write_response(
+                writer, status, payload, keep_alive=False
+            )
+            return
+        record = self.jobs.get(job_id)
+        if record is None or (
+            not self.tenants.open and record.tenant != tenant.name
+        ):
+            status, payload = self._error(
+                base.path, 404, "not_found", f"no such job {job_id!r}"
+            )
+            await self._write_response(
+                writer, status, payload, keep_alive=False
+            )
+            return
+        # Subscribe *before* the terminal check: a job finishing in
+        # between publishes into the subscription, not past it.
+        subscription = self._bus.subscribe(job_id)
+        self.metrics.counter("serve.progress.streams").inc()
+        try:
+            await self._start_event_stream(writer)
+            if record.state in ("done", "failed", "cancelled"):
+                await self._send_event(
+                    writer,
+                    {
+                        "event": "job_end",
+                        "request_id": job_id,
+                        "job_id": job_id,
+                        "state": record.state,
+                        "replay": True,
+                    },
                 )
-                if event is None:
-                    idle_polls += 1
-                    if idle_polls >= 10:
-                        # Comment line per SSE: keeps half-open
-                        # connections detectable without fabricating
-                        # events.
-                        writer.write(b": keep-alive\n\n")
-                        await writer.drain()
-                        idle_polls = 0
-                    continue
-                idle_polls = 0
-                await self._send_event(writer, event)
-                if (
-                    event.get("event") == "request_end"
-                    and request_id is not None
-                ):
-                    return
+                return
+            await self._pump_events(
+                writer, subscription, max_s, end_event="job_end"
+            )
         except (ConnectionError, OSError):
             pass  # client went away; unsubscribe below
         finally:

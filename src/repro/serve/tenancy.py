@@ -1,0 +1,403 @@
+"""Multi-tenant admission control for the serving daemon.
+
+Three pieces, deliberately independent of the HTTP layer so they unit
+test with a fake clock and no sockets:
+
+* :class:`TokenBucket` — the classic refill-on-read rate limiter with
+  an injectable monotonic clock.
+* :class:`TenantRegistry` — API keys to :class:`Tenant` records (name,
+  fair-share weight, submission rate, point quota), loaded from a JSON
+  file (``repro serve --tenants FILE``).  Without a file the registry
+  runs **open**: every caller is the anonymous ``public`` tenant with
+  no limits, so single-user deployments and the existing test suite
+  never see auth.  Admission charges the quota at submit time by the
+  job's expanded point count (cancellation does not refund — the
+  budget bounds *accepted* work, which is what capacity planning
+  needs).
+* :class:`FairShareScheduler` — weighted start-time fair queueing over
+  job *points*.  Each tenant accumulates virtual service
+  ``points / weight``; the runner always draws the next point from the
+  active tenant with the smallest virtual service, so two tenants with
+  1:3 weights complete points in a 1:3 ratio under saturation.  A
+  tenant that re-activates after idling is advanced to the active
+  minimum first — idle time is not a credit it can spend later
+  (standard start-time fairness, or one sleeper would starve everyone
+  on wake).
+
+Admission runs *ahead* of the micro-batcher's 429/503 backpressure:
+a job rejected here never consumes queue slots.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "AdmissionDecision",
+    "FairShareScheduler",
+    "PUBLIC_TENANT",
+    "Tenant",
+    "TenantRegistry",
+    "TokenBucket",
+]
+
+#: The anonymous tenant every unauthenticated caller maps to.
+PUBLIC_TENANT = "public"
+
+
+class TokenBucket:
+    """Refill-on-read token bucket with an injectable clock.
+
+    ``rate_per_s`` tokens accrue per second up to ``burst``;
+    :meth:`try_take` either spends and returns ``(True, 0.0)`` or
+    returns ``(False, seconds_until_enough)`` for a ``Retry-After``
+    header.
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate_per_s = float(rate_per_s)
+        self.burst = max(1.0, float(burst))
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def try_take(self, tokens: float = 1.0) -> Tuple[bool, float]:
+        """Spend ``tokens`` if available; else the wait in seconds."""
+        with self._lock:
+            now = self._clock()
+            if now > self._last:
+                self._tokens = min(
+                    self.burst,
+                    self._tokens + (now - self._last) * self.rate_per_s,
+                )
+            self._last = now
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True, 0.0
+            if self.rate_per_s <= 0.0:
+                return False, float("inf")
+            return False, (tokens - self._tokens) / self.rate_per_s
+
+    def available(self) -> float:
+        """Tokens spendable right now (refills as a side effect)."""
+        ok, _ = self.try_take(0.0)
+        assert ok
+        with self._lock:
+            return self._tokens
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One tenant's identity and limits (``None`` means unlimited)."""
+
+    name: str
+    api_key: Optional[str] = None
+    #: Fair-share weight: points per scheduling round relative to peers.
+    weight: float = 1.0
+    #: Job submissions per second (token bucket; ``None`` = unlimited).
+    rate_per_s: Optional[float] = None
+    #: Bucket depth; defaults to ``max(1, rate_per_s)`` when rated.
+    burst: Optional[float] = None
+    #: Lifetime point budget per daemon process (``None`` = unlimited).
+    quota_points: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The outcome of one admission check, HTTP-ready."""
+
+    ok: bool
+    code: str = ""
+    message: str = ""
+    pointer: str = ""
+    retry_after_s: float = 0.0
+
+
+class TenantRegistry:
+    """API keys to tenants, plus per-tenant admission state.
+
+    Open mode (no tenants configured): every caller — keyed or not —
+    is the unlimited ``public`` tenant.  Closed mode (``--tenants``):
+    job routes require a valid ``X-Api-Key``; other routes fall back
+    to ``public`` for event-namespacing purposes only.
+    """
+
+    def __init__(
+        self,
+        tenants: Iterable[Tenant] = (),
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._clock = clock
+        self._tenants: Dict[str, Tenant] = {}
+        self._by_key: Dict[str, Tenant] = {}
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._quota_left: Dict[str, Optional[int]] = {}
+        self._lock = threading.Lock()
+        self.public = Tenant(name=PUBLIC_TENANT)
+        self._admit_tenant(self.public)
+        for tenant in tenants:
+            if tenant.name == PUBLIC_TENANT:
+                self.public = tenant
+            self._admit_tenant(tenant)
+        self.open = not self._by_key
+
+    def _admit_tenant(self, tenant: Tenant) -> None:
+        self._tenants[tenant.name] = tenant
+        if tenant.api_key:
+            self._by_key[tenant.api_key] = tenant
+        if tenant.rate_per_s is not None:
+            burst = (
+                tenant.burst
+                if tenant.burst is not None
+                else max(1.0, tenant.rate_per_s)
+            )
+            self._buckets[tenant.name] = TokenBucket(
+                tenant.rate_per_s, burst, clock=self._clock
+            )
+        self._quota_left[tenant.name] = tenant.quota_points
+
+    @classmethod
+    def load(
+        cls,
+        path: Path,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "TenantRegistry":
+        """Parse a ``{"tenants": [...]}`` JSON document.
+
+        Each entry: ``name`` and ``api_key`` required; ``weight``,
+        ``rate_per_s``, ``burst``, ``quota_points`` optional (absent =
+        unlimited / weight 1).  Raises ``ValueError`` on a malformed
+        document — a typo'd limits file must fail loudly at boot, not
+        silently run open.
+        """
+        try:
+            document = json.loads(Path(path).read_text())
+        except (OSError, ValueError) as exc:
+            raise ValueError(f"cannot read tenants file {path}: {exc}")
+        entries = document.get("tenants") if isinstance(document, dict) else None
+        if not isinstance(entries, list) or not entries:
+            raise ValueError(
+                f"tenants file {path}: expected a non-empty "
+                '{"tenants": [...]} object'
+            )
+        tenants: List[Tenant] = []
+        for index, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                raise ValueError(
+                    f"tenants file {path}: /tenants/{index} is not an object"
+                )
+            name = entry.get("name")
+            api_key = entry.get("api_key")
+            if not name or not isinstance(name, str):
+                raise ValueError(
+                    f"tenants file {path}: /tenants/{index}/name is required"
+                )
+            if not api_key or not isinstance(api_key, str):
+                raise ValueError(
+                    f"tenants file {path}: /tenants/{index}/api_key "
+                    "is required"
+                )
+            unknown = sorted(
+                set(entry)
+                - {"name", "api_key", "weight", "rate_per_s", "burst",
+                   "quota_points"}
+            )
+            if unknown:
+                raise ValueError(
+                    f"tenants file {path}: /tenants/{index} has unknown "
+                    f"field(s) {', '.join(unknown)}"
+                )
+            tenants.append(
+                Tenant(
+                    name=name,
+                    api_key=api_key,
+                    weight=float(entry.get("weight", 1.0)),
+                    rate_per_s=(
+                        None
+                        if entry.get("rate_per_s") is None
+                        else float(entry["rate_per_s"])
+                    ),
+                    burst=(
+                        None
+                        if entry.get("burst") is None
+                        else float(entry["burst"])
+                    ),
+                    quota_points=(
+                        None
+                        if entry.get("quota_points") is None
+                        else int(entry["quota_points"])
+                    ),
+                )
+            )
+        return cls(tenants, clock=clock)
+
+    # --- identity -------------------------------------------------------
+
+    def get(self, name: str) -> Optional[Tenant]:
+        return self._tenants.get(name)
+
+    def resolve(self, api_key: Optional[str]) -> Tenant:
+        """The tenant a key maps to, falling back to ``public``.
+
+        Never fails: used for event namespacing on routes that do not
+        *require* auth (an invalid key simply gets public's view).
+        """
+        if api_key and api_key in self._by_key:
+            return self._by_key[api_key]
+        return self.public
+
+    def identify(self, api_key: Optional[str]) -> Tuple[Optional[Tenant], str]:
+        """Strict auth for job routes: ``(tenant, "")`` or
+        ``(None, error_code)`` (``unauthorized`` for a missing key,
+        ``forbidden`` for an invalid one).  Open mode admits everyone
+        as ``public``."""
+        if self.open:
+            return self.public, ""
+        if not api_key:
+            return None, "unauthorized"
+        tenant = self._by_key.get(api_key)
+        if tenant is None:
+            return None, "forbidden"
+        return tenant, ""
+
+    # --- admission ------------------------------------------------------
+
+    def admit(self, tenant: Tenant, points: int) -> AdmissionDecision:
+        """Rate-limit then quota-check one job submission of ``points``.
+
+        The quota is charged atomically on success.
+        """
+        bucket = self._buckets.get(tenant.name)
+        if bucket is not None:
+            ok, wait = bucket.try_take(1.0)
+            if not ok:
+                return AdmissionDecision(
+                    ok=False,
+                    code="rate_limited",
+                    message=(
+                        f"tenant {tenant.name!r} exceeded "
+                        f"{tenant.rate_per_s:g} submissions/s"
+                    ),
+                    retry_after_s=wait,
+                )
+        with self._lock:
+            left = self._quota_left.get(tenant.name)
+            if left is not None and points > left:
+                return AdmissionDecision(
+                    ok=False,
+                    code="quota_exceeded",
+                    message=(
+                        f"tenant {tenant.name!r} has {left} of "
+                        f"{tenant.quota_points} quota points left; "
+                        f"this job needs {points}"
+                    ),
+                    pointer="/sweep",
+                )
+            if left is not None:
+                self._quota_left[tenant.name] = left - points
+        return AdmissionDecision(ok=True)
+
+    def quota_remaining(self, name: str) -> Optional[int]:
+        with self._lock:
+            return self._quota_left.get(name)
+
+    def stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-tenant limits and remaining quota, for ``/v1/stats``."""
+        out: Dict[str, Dict[str, object]] = {}
+        with self._lock:
+            for name, tenant in sorted(self._tenants.items()):
+                out[name] = {
+                    "weight": tenant.weight,
+                    "rate_per_s": tenant.rate_per_s,
+                    "quota_points": tenant.quota_points,
+                    "quota_remaining": self._quota_left.get(name),
+                }
+        return out
+
+
+class FairShareScheduler:
+    """Weighted start-time fair queueing over job points.
+
+    The daemon's job runner calls :meth:`next` before every point to
+    ask *whose* job advances, :meth:`charge` after executing it, and
+    :meth:`finish` when a job leaves the queue.  Virtual service is
+    ``points / weight``, so a weight-3 tenant's service grows a third
+    as fast and it wins three picks for every one a weight-1 tenant
+    gets.  Jobs within one tenant run FIFO (no interleaving — earlier
+    submissions finish first).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._service: Dict[str, float] = {}
+        self._weights: Dict[str, float] = {}
+        self._queues: Dict[str, Deque[str]] = {}
+
+    def enqueue(self, tenant: str, weight: float, job_id: str) -> None:
+        with self._lock:
+            queue = self._queues.setdefault(tenant, deque())
+            self._weights[tenant] = max(float(weight), 1e-9)
+            if not queue:
+                # Re-activation: catch up to the busiest-idle boundary
+                # so idle time never becomes spendable credit.
+                active = [
+                    self._service.get(name, 0.0)
+                    for name, q in self._queues.items()
+                    if q and name != tenant
+                ]
+                floor = min(active) if active else 0.0
+                self._service[tenant] = max(
+                    self._service.get(tenant, 0.0), floor
+                )
+            queue.append(job_id)
+
+    def next(self) -> Optional[Tuple[str, str]]:
+        """Peek ``(tenant, job_id)`` owed the next point, or ``None``.
+
+        Does not dequeue — the job stays at the head of its tenant's
+        FIFO until :meth:`finish` removes it.
+        """
+        with self._lock:
+            active = [name for name, queue in self._queues.items() if queue]
+            if not active:
+                return None
+            tenant = min(
+                active,
+                key=lambda name: (self._service.get(name, 0.0), name),
+            )
+            return tenant, self._queues[tenant][0]
+
+    def charge(self, tenant: str, points: float = 1.0) -> None:
+        """Account ``points`` of service against ``tenant``."""
+        with self._lock:
+            weight = self._weights.get(tenant, 1.0)
+            self._service[tenant] = (
+                self._service.get(tenant, 0.0) + points / weight
+            )
+
+    def finish(self, tenant: str, job_id: str) -> None:
+        """Drop one job from its tenant's queue (any position)."""
+        with self._lock:
+            queue = self._queues.get(tenant)
+            if queue is None:
+                return
+            try:
+                queue.remove(job_id)
+            except ValueError:
+                pass
+
+    def pending(self) -> int:
+        with self._lock:
+            return sum(len(queue) for queue in self._queues.values())

@@ -176,8 +176,9 @@ class TestRunners:
         # 2: requests grew the ``mode`` field.  3: SimulateResult grew
         # the raw busy-cycle fields cluster workers ship back.
         # 4: kernel registration (RegisterKernelRequest/KernelRef) and
-        # SweepRequest.kernel.
-        assert API_VERSION == 4
+        # SweepRequest.kernel.  5: the async job surface (/v1/jobs),
+        # the canonical /v1/sweeps route, and error-envelope pointers.
+        assert API_VERSION == 5
 
 
 class TestExecutionModes:

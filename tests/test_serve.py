@@ -110,7 +110,7 @@ class TestEndpointEquivalence:
         response = client.costs(8, 5)
         validate_envelope(response.payload)
         assert response.payload["kind"] == "costs"
-        assert response.payload["api_version"] == 4
+        assert response.payload["api_version"] == 5
         assert "duration_ms" in response.payload["meta"]
 
 
